@@ -1,0 +1,191 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. Microblock weight — Section 5.1 argues microblocks must carry *no*
+   weight or withholding strategies strengthen; the ablation quantifies
+   the leadership-retention probability a weighted variant would hand a
+   zero-power leader.
+2. Fee split r — sweep r and locate the profitable-deviation window.
+3. Key-block interval — censorship exposure vs key-block fork rate.
+4. Gossip style — inv/getdata vs full flood: latency/bandwidth trade.
+"""
+
+import pytest
+
+from repro.attacks import (
+    expected_censorship_wait_time,
+    leadership_retention_probability,
+    simulate_extension_strategy,
+    simulate_inclusion_strategy,
+    simulate_weighted_micro_takeover,
+)
+from repro.experiments import ExperimentConfig, Protocol, run_experiment
+from repro.net.gossip import RelayMode
+from conftest import emit, BENCH_NODES
+
+WEIGHT_FRACTIONS = (0.0, 0.01, 0.05, 0.1, 0.5)
+
+
+def _weighted_micro():
+    rows = []
+    for fraction in WEIGHT_FRACTIONS:
+        analytic = leadership_retention_probability(fraction, 100.0, 10.0)
+        empirical = simulate_weighted_micro_takeover(
+            fraction, 100.0, 10.0, n_trials=50_000
+        )
+        rows.append((fraction, analytic, empirical))
+    return rows
+
+
+def test_ablation_weighted_microblocks(benchmark):
+    rows = benchmark.pedantic(_weighted_micro, rounds=1, iterations=1)
+    emit("\nAblation — microblocks carrying weight (fraction of key work)")
+    emit(f"{'weight':>8}{'P(retain) analytic':>20}{'Monte-Carlo':>14}")
+    for fraction, analytic, empirical in rows:
+        emit(f"{fraction:>8.2f}{analytic:>20.4f}{empirical:>14.4f}")
+    # Bitcoin-NG's rule (weight 0) gives an attacker nothing.
+    assert rows[0][1] == 0.0
+    # Any positive weight lets a zero-power leader retain leadership
+    # with positive probability — the paper's reason to forbid it.
+    for fraction, analytic, empirical in rows[1:]:
+        assert analytic > 0
+        assert empirical == pytest.approx(analytic, abs=0.02)
+    # Monotone in the weight fraction.
+    values = [row[1] for row in rows]
+    assert values == sorted(values)
+
+
+FRACTIONS = tuple(i / 20 for i in range(1, 20))
+
+
+def _fee_split_sweep():
+    rows = []
+    for r in FRACTIONS:
+        inclusion = simulate_inclusion_strategy(0.25, r, n_trials=60_000)
+        extension = simulate_extension_strategy(0.25, r, n_trials=60_000)
+        rows.append(
+            (r, inclusion.deviation_profitable, extension.deviation_profitable)
+        )
+    return rows
+
+
+def test_ablation_fee_split(benchmark):
+    rows = benchmark.pedantic(_fee_split_sweep, rounds=1, iterations=1)
+    emit("\nAblation — leader fee fraction r (α = 1/4)")
+    emit(f"{'r':>6}{'withholding wins':>18}{'mine-around wins':>18}")
+    for r, inclusion_wins, extension_wins in rows:
+        emit(f"{r:>6.2f}{str(inclusion_wins):>18}{str(extension_wins):>18}")
+    safe = [r for r, a, b in rows if not a and not b]
+    emit(f"safe region: [{min(safe):.2f}, {max(safe):.2f}] "
+          f"(paper: 0.37 < r < 0.43 → picks 0.40)")
+    assert 0.40 in [round(r, 2) for r in safe]
+    assert min(safe) >= 0.30
+    assert max(safe) <= 0.50
+
+
+KEY_INTERVALS = (25.0, 50.0, 100.0, 200.0, 400.0)
+
+
+def test_ablation_key_interval_censorship(benchmark):
+    def _sweep():
+        return [
+            (interval, expected_censorship_wait_time(0.25, interval))
+            for interval in KEY_INTERVALS
+        ]
+
+    rows = benchmark(_sweep)
+    emit("\nAblation — key-block interval vs censorship exposure (α = 1/4)")
+    emit(f"{'interval[s]':>12}{'expected wait[s]':>18}")
+    for interval, wait in rows:
+        emit(f"{interval:>12.0f}{wait:>18.1f}")
+    # Censorship exposure is linear in the key interval: 4/3 blocks.
+    for interval, wait in rows:
+        assert wait == pytest.approx(interval * 4 / 3)
+
+
+def _gossip_comparison():
+    base = ExperimentConfig(
+        protocol=Protocol.BITCOIN,
+        n_nodes=BENCH_NODES,
+        block_rate=1.0 / 20.0,
+        block_size_bytes=20_000,
+        target_blocks=40,
+        cooldown=60.0,
+        seed=5,
+    )
+    out = {}
+    for mode in (RelayMode.INV, RelayMode.FLOOD):
+        result, log = run_experiment(base.with_(relay_mode=mode))
+        from repro.experiments import propagation_samples
+
+        samples = sorted(propagation_samples(log))
+        median = samples[len(samples) // 2]
+        out[mode] = (result, median)
+    return out
+
+
+def test_ablation_gossip_style(benchmark):
+    out = benchmark.pedantic(_gossip_comparison, rounds=1, iterations=1)
+    inv_result, inv_median = out[RelayMode.INV]
+    flood_result, flood_median = out[RelayMode.FLOOD]
+    emit("\nAblation — inv/getdata vs flood relay (Bitcoin, 20 kB blocks)")
+    emit(f"{'mode':>8}{'median prop[s]':>16}{'utilization':>13}")
+    emit(f"{'inv':>8}{inv_median:>16.2f}"
+          f"{inv_result.mining_power_utilization:>13.3f}")
+    emit(f"{'flood':>8}{flood_median:>16.2f}"
+          f"{flood_result.mining_power_utilization:>13.3f}")
+    # Flood skips the inv/getdata round trips: faster propagation, as
+    # fast-relay networks [Corallo 2013] exploit.
+    assert flood_median <= inv_median
+    # Both produce sane consensus.
+    assert inv_result.mining_power_utilization > 0.5
+    assert flood_result.mining_power_utilization > 0.5
+
+
+def _ghost_ng_comparison():
+    """High key-block frequency: plain NG vs GHOST-NG fork choice."""
+    base = ExperimentConfig(
+        protocol=Protocol.BITCOIN_NG,
+        n_nodes=BENCH_NODES,
+        block_rate=1.0 / 5.0,        # microblocks
+        key_block_rate=1.0 / 10.0,   # unusually frequent key blocks
+        block_size_bytes=8_000,
+        target_blocks=150,
+        target_key_blocks=60,
+        cooldown=60.0,
+        seed=8,
+    )
+    out = {}
+    for ghost in (False, True):
+        result, log = run_experiment(base.with_(ng_ghost_fork_choice=ghost))
+        main = set(log.main_chain())
+        pruned_keys = sum(
+            1
+            for info in log.index.all_blocks()
+            if info.kind == "key" and info.hash not in main
+        )
+        out[ghost] = (result, pruned_keys)
+    return out
+
+
+def test_ablation_ghost_ng_fork_choice(benchmark):
+    """Section 9 future work: GHOST over key blocks at high frequency."""
+    out = benchmark.pedantic(_ghost_ng_comparison, rounds=1, iterations=1)
+    plain_result, plain_pruned = out[False]
+    ghost_result, ghost_pruned = out[True]
+    emit("\nAblation — NG key-block fork choice at 1 key block / 10 s")
+    emit(f"{'rule':>16}{'pruned keys':>13}{'utilization':>13}{'cons.delay':>12}")
+    emit(f"{'heaviest-chain':>16}{plain_pruned:>13}"
+         f"{plain_result.mining_power_utilization:>13.3f}"
+         f"{plain_result.consensus_delay:>12.2f}")
+    emit(f"{'ghost':>16}{ghost_pruned:>13}"
+         f"{ghost_result.mining_power_utilization:>13.3f}"
+         f"{ghost_result.consensus_delay:>12.2f}")
+    # GHOST counts pruned-subtree work at forks, so it never does worse
+    # on utilization at high key frequency, enabling the higher key
+    # rates Section 9 envisions.
+    assert ghost_result.mining_power_utilization >= (
+        plain_result.mining_power_utilization - 0.03
+    )
+    # Both variants converge to one chain.
+    assert plain_result.main_chain_length > 0
+    assert ghost_result.main_chain_length > 0

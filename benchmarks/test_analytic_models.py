@@ -1,0 +1,86 @@
+"""Analytic models vs simulation: the predictive-power check.
+
+The closed forms in :mod:`repro.analysis` let parameter choices be
+reasoned about without experiments; this benchmark quantifies how well
+they track the simulator across a frequency range — the same kind of
+validation the paper does for its testbed against Decker–Wattenhofer
+measurements.
+"""
+
+import pytest
+
+from repro.analysis import (
+    bitcoin_fork_probability,
+    expected_mining_power_utilization,
+    ng_microblock_prune_probability,
+)
+from repro.experiments import ExperimentConfig, Protocol, run_experiment
+from repro.experiments.propagation import propagation_samples
+from repro.stats import percentile
+from conftest import emit, BENCH_NODES
+
+INTERVALS = (30.0, 10.0, 5.0)
+
+
+def _study():
+    rows = []
+    for interval in INTERVALS:
+        config = ExperimentConfig(
+            protocol=Protocol.BITCOIN,
+            n_nodes=BENCH_NODES,
+            block_rate=1.0 / interval,
+            block_size_bytes=5_000,
+            target_blocks=150,
+            cooldown=45.0,
+            seed=13,
+        )
+        result, log = run_experiment(config)
+        delay = percentile(propagation_samples(log), 0.5)
+        predicted = expected_mining_power_utilization(interval, delay)
+        rows.append((interval, delay, predicted, result.mining_power_utilization))
+    # NG prune fraction check at one configuration.
+    ng_config = ExperimentConfig(
+        protocol=Protocol.BITCOIN_NG,
+        n_nodes=BENCH_NODES,
+        block_rate=1.0 / 10.0,
+        key_block_rate=1.0 / 100.0,
+        block_size_bytes=10_000,
+        target_blocks=200,
+        target_key_blocks=25,
+        cooldown=45.0,
+        seed=13,
+    )
+    ng_result, ng_log = run_experiment(ng_config)
+    main = set(ng_log.main_chain())
+    micros = [i for i in ng_log.index.all_blocks() if i.kind == "micro"]
+    pruned_fraction = (
+        sum(1 for i in micros if i.hash not in main) / len(micros)
+    )
+    ng_delay = percentile(propagation_samples(ng_log), 0.5)
+    ng_predicted = ng_microblock_prune_probability(100.0, ng_delay)
+    return rows, (ng_predicted, pruned_fraction)
+
+
+def test_analytic_models_track_simulation(benchmark):
+    rows, (ng_predicted, ng_measured) = benchmark.pedantic(
+        _study, rounds=1, iterations=1
+    )
+    emit("\nAnalytic fork model vs simulation (Bitcoin)")
+    emit(f"{'interval[s]':>12}{'delay[s]':>10}{'predicted util':>16}"
+         f"{'measured util':>15}")
+    for interval, delay, predicted, measured in rows:
+        emit(f"{interval:>12.0f}{delay:>10.2f}{predicted:>16.3f}"
+             f"{measured:>15.3f}")
+    emit(f"\nNG microblock prune fraction: predicted {ng_predicted:.3f}, "
+         f"measured {ng_measured:.3f}")
+
+    # The model must track the trend and stay within coarse error.
+    for interval, delay, predicted, measured in rows:
+        assert measured == pytest.approx(predicted, abs=0.15)
+    predictions = [row[2] for row in rows]
+    measurements = [row[3] for row in rows]
+    # Both decrease as the interval shrinks (contention grows).
+    assert predictions == sorted(predictions, reverse=True)
+    assert measurements == sorted(measurements, reverse=True)
+    # The NG prune model lands in the right regime.
+    assert ng_measured == pytest.approx(ng_predicted, abs=0.05)

@@ -1,0 +1,57 @@
+"""Fairness under heavy contention, averaged over many seeds.
+
+Fairness is the noisiest of the six metrics (a ratio of small counts),
+so the single-seed panels in Figure 8 reproductions carry visible
+sampling error.  This benchmark runs a heavy-contention Figure 8b
+point (40 kB blocks every 10 s — high load but below the congestion
+knee, see EXPERIMENTS.md) across eight seeds and checks the paper's
+claim in expectation: Bitcoin's largest miner ends up over-represented
+(fairness < 1), Bitcoin-NG's does not.
+"""
+
+from repro.experiments import ExperimentConfig, Protocol, run_experiment
+from repro.stats import summarize
+from conftest import emit, BENCH_NODES
+
+SEEDS = tuple(range(8))
+
+
+def _study():
+    base = ExperimentConfig(
+        n_nodes=BENCH_NODES,
+        block_rate=1.0 / 10.0,
+        key_block_rate=1.0 / 100.0,
+        block_size_bytes=40_000,
+        target_blocks=250,
+        target_key_blocks=60,
+        cooldown=60.0,
+    )
+    out = {}
+    for protocol in (Protocol.BITCOIN, Protocol.BITCOIN_NG):
+        values = []
+        for seed in SEEDS:
+            result, _ = run_experiment(
+                base.with_(protocol=protocol, seed=seed)
+            )
+            values.append(result.fairness)
+        out[protocol] = values
+    return out
+
+
+def test_fairness_converges_to_paper_shape(benchmark):
+    out = benchmark.pedantic(_study, rounds=1, iterations=1)
+    bitcoin = summarize(out[Protocol.BITCOIN])
+    ng = summarize(out[Protocol.BITCOIN_NG])
+    emit("\nFairness under heavy contention (40 kB / 10 s), 8 seeds")
+    emit(f"{'protocol':>12}{'mean':>8}{'stdev':>8}{'min':>8}{'max':>8}")
+    emit(f"{'bitcoin':>12}{bitcoin.mean:>8.3f}{bitcoin.stdev:>8.3f}"
+         f"{bitcoin.minimum:>8.3f}{bitcoin.maximum:>8.3f}")
+    emit(f"{'bitcoin-ng':>12}{ng.mean:>8.3f}{ng.stdev:>8.3f}"
+         f"{ng.minimum:>8.3f}{ng.maximum:>8.3f}")
+
+    # The paper's claim, in expectation: Bitcoin's fairness degrades
+    # below 1 under heavy contention; NG's hovers at the optimum.
+    assert bitcoin.mean < 0.99
+    assert 0.92 <= ng.mean <= 1.1
+    # NG is at least as fair, up to residual sampling noise.
+    assert ng.mean > bitcoin.mean - 0.05

@@ -1,0 +1,49 @@
+"""Figure 7: block propagation latency grows linearly with block size.
+
+Paper: "We perform experiments with different block sizes while
+changing the block frequency so that the transaction-per-second load is
+constant.  Figure 7 shows a linear relation between the block size and
+the propagation time" (25/50/75th percentiles, sizes 20–100 kB).
+"""
+
+from repro.experiments import (
+    ExperimentConfig,
+    PROPAGATION_SIZE_POINTS,
+    format_propagation_table,
+    linear_fit,
+    propagation_study,
+)
+from conftest import emit, BENCH_NODES
+
+
+def _figure7():
+    base = ExperimentConfig(
+        n_nodes=BENCH_NODES,
+        target_blocks=30,
+        cooldown=60.0,
+        seed=0,
+    )
+    return propagation_study(base, sizes=PROPAGATION_SIZE_POINTS)
+
+
+def test_figure7_propagation_linear(benchmark):
+    points = benchmark.pedantic(_figure7, rounds=1, iterations=1)
+
+    emit("\nFigure 7 — propagation latency vs block size")
+    emit(format_propagation_table(points))
+    slope, intercept, r_squared = linear_fit(points)
+    emit(f"\nlinear fit of medians: slope={slope * 1000:.3f} ms/kB, "
+          f"intercept={intercept:.2f} s, R²={r_squared:.4f}")
+
+    # Shape: latency grows with size, and the growth is linear.
+    medians = [p.p50 for p in points]
+    assert medians == sorted(medians)
+    assert slope > 0
+    assert r_squared > 0.95
+    # Percentile bands ordered at every size.
+    for point in points:
+        assert point.p25 <= point.p50 <= point.p75
+    # Magnitude: at ~12.5 kB/s pair bandwidth a 100 kB block needs
+    # seconds per hop — median propagation is tens of seconds, matching
+    # the scale of the paper's Figure 7 (up to ~40 s at 100 kB).
+    assert 1.0 < points[-1].p50 < 120.0

@@ -1,0 +1,104 @@
+"""Figure 8a: the block-frequency sweep (reducing latency).
+
+Paper: Bitcoin's block frequency varies 0.01–1 /s; Bitcoin-NG keeps key
+blocks at 1/100 s and varies microblock frequency over the same range;
+block size is chosen per frequency to hold payload throughput at the
+operational 3.5 tx/s.  Six metrics are reported for both protocols.
+
+Expected shape: higher frequency lowers Bitcoin's consensus delay and
+time-to-prune but collapses its mining power utilization (toward the
+largest miner's share) — while Bitcoin-NG enjoys the latency gains with
+*no* security degradation, since contention is confined to key blocks.
+"""
+
+from repro.experiments import (
+    ExperimentConfig,
+    Protocol,
+    format_sweep_table,
+    frequency_sweep,
+)
+from conftest import emit, BENCH_NODES
+
+FREQUENCIES = (0.01, 0.0316, 0.1, 0.316, 1.0)
+
+
+def _figure8a():
+    # Paper-length executions (50-100 blocks): long runs intersect the
+    # rare-but-long key-block forks of Figure 3 and inflate the means,
+    # exactly the "low frequency" artifact Section 8.1 describes.
+    base = ExperimentConfig(
+        n_nodes=BENCH_NODES,
+        target_blocks=50,
+        target_key_blocks=8,
+        cooldown=60.0,
+    )
+    return frequency_sweep(
+        base, frequencies=FREQUENCIES, seeds=(0, 1, 2, 3)
+    )
+
+
+def _median(point, metric):
+    values = sorted(getattr(r, metric) for r in point.results)
+    return values[len(values) // 2]
+
+
+def test_figure8a_frequency_sweep(benchmark):
+    sweep = benchmark.pedantic(_figure8a, rounds=1, iterations=1)
+
+    emit("\nFigure 8a — frequency sweep "
+          f"({BENCH_NODES} nodes, seeds (0, 1, 2, 3))")
+    emit(format_sweep_table(sweep))
+
+    bitcoin = {p.x: p for p in sweep.series(Protocol.BITCOIN)}
+    ng = {p.x: p for p in sweep.series(Protocol.BITCOIN_NG)}
+
+    # -- Bitcoin degrades with frequency -------------------------------
+    # "Bitcoin's mining power utilization drops quickly as frequency
+    # increases".
+    lowest, highest = FREQUENCIES[0], FREQUENCIES[-1]
+    assert (
+        _median(bitcoin[highest], "mining_power_utilization")
+        < _median(bitcoin[lowest], "mining_power_utilization") - 0.1
+    )
+    # "Time to prune improves significantly as block frequency increases."
+    assert (
+        _median(bitcoin[highest], "time_to_prune")
+        < _median(bitcoin[lowest], "time_to_prune")
+    )
+    # "a higher block frequency reduces Bitcoin's consensus latency".
+    assert (
+        _median(bitcoin[highest], "consensus_delay")
+        < _median(bitcoin[lowest], "consensus_delay")
+    )
+
+    # -- Bitcoin-NG does not ------------------------------------------
+    # "All other metrics are unaffected and remain at the optimal level."
+    # (medians: a run can still catch a rare long key fork, the paper's
+    # own low-frequency artifact)
+    for frequency in FREQUENCIES:
+        assert _median(ng[frequency], "mining_power_utilization") >= 0.93
+    # "Increasing the microblock frequency achieves consensus delay and
+    # time to prune reduction."
+    assert _median(ng[highest], "consensus_delay") < _median(
+        ng[lowest], "consensus_delay"
+    )
+
+    # -- NG beats Bitcoin across the range ------------------------------
+    for frequency in FREQUENCIES:
+        assert _median(ng[frequency], "mining_power_utilization") >= (
+            _median(bitcoin[frequency], "mining_power_utilization") - 0.02
+        )
+        assert _median(ng[frequency], "time_to_prune") <= (
+            _median(bitcoin[frequency], "time_to_prune") + 1.0
+        )
+
+    # Throughput: Bitcoin-NG holds near the operational 3.5 tx/s (its
+    # low-frequency corner undershoots — the Section 8.1 artifact),
+    # while Bitcoin's forks eat into its main-chain throughput as the
+    # frequency grows: "In our experiments, Bitcoin's bandwidth is
+    # smaller than that of Bitcoin-NG".
+    for frequency in FREQUENCIES[1:]:
+        assert 2.0 <= _median(ng[frequency], "transaction_frequency") <= 4.5
+    assert _median(bitcoin[highest], "transaction_frequency") < _median(
+        ng[highest], "transaction_frequency"
+    )

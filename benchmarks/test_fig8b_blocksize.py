@@ -1,0 +1,99 @@
+"""Figure 8b: the block-size sweep (increasing throughput).
+
+Paper: Bitcoin at 1 block / 10 s, Bitcoin-NG at 1 microblock / 10 s
+with key blocks at 1/100 s; block sizes 1280 B – 80 kB.
+
+Expected shape: throughput rises with size for both, but Bitcoin pays
+with collapsing fairness and mining power utilization ("reaching about
+80%" loss) and exploding time-to-win, while "Bitcoin-NG demonstrates
+qualitative improvement, suffering no significant degradation in the
+security-related metrics".
+"""
+
+from repro.experiments import (
+    ExperimentConfig,
+    Protocol,
+    format_sweep_table,
+    size_sweep,
+)
+from conftest import emit, BENCH_NODES
+
+SIZES = (1280, 2500, 5000, 10_000, 20_000, 40_000, 80_000)
+
+
+def _figure8b():
+    # The paper runs 50-100 blocks per execution; matching that length
+    # keeps runs short enough that the rare-but-long key-block forks
+    # (Figure 3) seldom intersect an execution, exactly as in Section 8.
+    base = ExperimentConfig(
+        n_nodes=BENCH_NODES,
+        target_blocks=80,
+        target_key_blocks=8,
+        cooldown=60.0,
+    )
+    return size_sweep(
+        base,
+        sizes=SIZES,
+        seeds=(0, 1, 2, 3),
+        block_rate=1.0 / 10.0,
+        key_block_rate=1.0 / 100.0,
+    )
+
+
+def _median(point, metric):
+    values = sorted(getattr(r, metric) for r in point.results)
+    return values[len(values) // 2]
+
+
+def test_figure8b_size_sweep(benchmark):
+    sweep = benchmark.pedantic(_figure8b, rounds=1, iterations=1)
+
+    emit("\nFigure 8b — block size sweep "
+          f"({BENCH_NODES} nodes, seeds (0, 1, 2, 3))")
+    emit(format_sweep_table(sweep))
+
+    bitcoin = {p.x: p for p in sweep.series(Protocol.BITCOIN)}
+    ng = {p.x: p for p in sweep.series(Protocol.BITCOIN_NG)}
+    small, large = float(SIZES[0]), float(SIZES[-1])
+
+    # -- throughput scales with size for both protocols ----------------
+    assert bitcoin[large].mean("transaction_frequency") > 3 * bitcoin[
+        small
+    ].mean("transaction_frequency")
+    assert ng[large].mean("transaction_frequency") > 3 * ng[small].mean(
+        "transaction_frequency"
+    )
+
+    # -- Bitcoin's security collapses ----------------------------------
+    # "The forks cause significant mining power loss".
+    assert (
+        bitcoin[large].mean("mining_power_utilization")
+        < bitcoin[small].mean("mining_power_utilization") - 0.15
+    )
+    assert bitcoin[large].mean("mining_power_utilization") < 0.75
+    # "Even more detrimental is the reduction in fairness."
+    assert bitcoin[large].mean("fairness") < bitcoin[small].mean("fairness")
+    # "The time to win also increases, as blocks take longer..."
+    assert bitcoin[large].mean("time_to_win") > bitcoin[small].mean(
+        "time_to_win"
+    )
+
+    # -- Bitcoin-NG does not collapse -----------------------------------
+    # Medians across seeds: robust to the occasional run that catches a
+    # rare-but-long key-block fork (Figure 3), which the paper's short
+    # executions mostly dodge and its error bars absorb.
+    for size in SIZES:
+        assert _median(ng[float(size)], "mining_power_utilization") >= 0.9
+    # NG fairness stays near optimal (sampling noise allowed; the shape
+    # claim is "no significant degradation" relative to Bitcoin's drop).
+    assert _median(ng[large], "fairness") >= _median(bitcoin[large], "fairness") - 0.1
+
+    # NG's consensus delay and time to prune do grow at high bandwidth
+    # ("the clients are approaching their capacity") but stay below
+    # Bitcoin's.
+    assert _median(ng[large], "consensus_delay") <= _median(
+        bitcoin[large], "consensus_delay"
+    )
+    assert _median(ng[large], "time_to_prune") <= _median(
+        bitcoin[large], "time_to_prune"
+    )

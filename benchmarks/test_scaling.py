@@ -1,0 +1,67 @@
+"""Network-size scaling: the paper's headline claim, quantified.
+
+"Bitcoin-NG scales optimally, with bandwidth limited only by the
+capacity of the individual nodes and latency limited only by the
+propagation time of the network."
+
+Random ≥5-degree graphs have diameter ~log N, so NG's consensus delay
+should grow slowly (logarithmically) with node count while its
+security metrics stay flat.  This benchmark sweeps the network size —
+the dimension the paper fixed at 1000 — and checks exactly that.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import ExperimentConfig, Protocol, run_experiment
+from repro.experiments.propagation import propagation_samples
+from repro.stats import percentile
+from conftest import emit
+
+SIZES = (30, 60, 120, 240)
+
+
+def _study():
+    rows = []
+    for n_nodes in SIZES:
+        config = ExperimentConfig(
+            protocol=Protocol.BITCOIN_NG,
+            n_nodes=n_nodes,
+            block_rate=1.0 / 10.0,
+            key_block_rate=1.0 / 100.0,
+            block_size_bytes=16_660,
+            target_blocks=60,
+            target_key_blocks=12,
+            cooldown=45.0,
+            seed=14,
+        )
+        result, log = run_experiment(config)
+        delay = percentile(propagation_samples(log), 0.9)
+        rows.append((n_nodes, delay, result))
+    return rows
+
+
+def test_ng_scales_with_network_size(benchmark):
+    rows = benchmark.pedantic(_study, rounds=1, iterations=1)
+    emit("\nScaling study — Bitcoin-NG vs network size")
+    emit(f"{'nodes':>7}{'p90 prop[s]':>13}{'cons.delay[s]':>15}"
+         f"{'util':>7}{'ttp[s]':>8}")
+    for n_nodes, delay, result in rows:
+        emit(f"{n_nodes:>7}{delay:>13.2f}{result.consensus_delay:>15.2f}"
+             f"{result.mining_power_utilization:>7.2f}"
+             f"{result.time_to_prune:>8.2f}")
+
+    # Security metrics stay flat as the network grows.
+    for _, _, result in rows:
+        assert result.mining_power_utilization >= 0.9
+    # Consensus delay tracks propagation, which grows sub-linearly
+    # (log-diameter): an 8x network must not cost anywhere near 8x.
+    first = rows[0]
+    last = rows[-1]
+    size_ratio = last[0] / first[0]
+    delay_ratio = max(last[1], 0.01) / max(first[1], 0.01)
+    assert delay_ratio < size_ratio / 2
+    # And consensus delay stays within a small multiple of propagation.
+    for _, delay, result in rows:
+        assert result.consensus_delay <= max(10 * delay, 20.0)

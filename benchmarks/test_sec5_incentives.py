@@ -1,0 +1,87 @@
+"""Section 5's incentive table: the fee-split window.
+
+Regenerates the paper's implicit table of bounds:
+
+* transaction-inclusion deviation → r > 1 − (1−α)/(1+α−α²) → 37% @ α=1/4
+* longest-chain-extension deviation → r < (1−α)/(2−α)      → 43% @ α=1/4
+* optimal-network case (α = 1/3) → r > 45% and r < 40%: empty window
+* Appendix B: fee competition on a key-block fork is self-defeating
+
+Each closed form is cross-validated by a Monte-Carlo strategy
+simulation.
+"""
+
+import pytest
+
+from repro.attacks import (
+    fork_fee_competition,
+    profitable_window,
+    simulate_extension_strategy,
+    simulate_inclusion_strategy,
+)
+from repro.core.incentives import (
+    BYZANTINE_BOUND,
+    OPTIMAL_NETWORK_BOUND,
+    critical_alpha,
+    incentive_window,
+)
+from conftest import emit
+
+
+def _section5():
+    alphas = (0.05, 0.10, 0.15, 0.20, 0.25, 0.30, OPTIMAL_NETWORK_BOUND)
+    rows = []
+    for alpha in alphas:
+        window = incentive_window(alpha)
+        inclusion = simulate_inclusion_strategy(alpha, 0.40, n_trials=150_000)
+        extension = simulate_extension_strategy(alpha, 0.40, n_trials=150_000)
+        rows.append((alpha, window, inclusion, extension))
+    empirical = profitable_window(BYZANTINE_BOUND, n_trials=60_000)
+    return rows, empirical
+
+
+def test_section5_incentive_window(benchmark):
+    rows, empirical = benchmark.pedantic(_section5, rounds=1, iterations=1)
+
+    emit("\nSection 5 — safe leader-fee window r(α), with r = 40% played")
+    emit(f"{'alpha':>7}{'lower':>9}{'upper':>9}{'feasible':>10}"
+          f"{'incl.dev':>10}{'ext.dev':>10}")
+    for alpha, window, inclusion, extension in rows:
+        emit(
+            f"{alpha:>7.3f}{window.lower:>9.4f}{window.upper:>9.4f}"
+            f"{str(window.feasible):>10}"
+            f"{inclusion.deviation_revenue:>10.4f}"
+            f"{extension.deviation_revenue:>10.4f}"
+        )
+    emit(f"\nMonte-Carlo safe window at α=1/4: "
+          f"({empirical[0]:.2f}, {empirical[1]:.2f}); paper: (0.37, 0.43)")
+    emit(f"critical α for r=40%: {critical_alpha(0.40):.4f}")
+
+    # Paper's headline numbers at α = 1/4.
+    paper = next(w for a, w, _, _ in rows if a == BYZANTINE_BOUND)
+    assert paper.lower == pytest.approx(0.368, abs=2e-3)
+    assert paper.upper == pytest.approx(0.429, abs=2e-3)
+    assert paper.contains(0.40)
+    # Optimal network: no feasible window at α = 1/3.
+    optimal = next(w for a, w, _, _ in rows if a == OPTIMAL_NETWORK_BOUND)
+    assert not optimal.feasible
+    # Monte-Carlo brackets the paper's choice and the closed forms.
+    assert empirical[0] < 0.40 < empirical[1]
+    assert empirical[0] == pytest.approx(paper.lower, abs=0.04)
+    assert empirical[1] == pytest.approx(paper.upper, abs=0.04)
+    # Under α = 1/4, neither deviation beats honest play at r = 40%.
+    at_bound = next(r for r in rows if r[0] == BYZANTINE_BOUND)
+    assert not at_bound[2].deviation_profitable
+    assert not at_bound[3].deviation_profitable
+
+
+def test_appendix_b_fee_competition(benchmark):
+    outcome = benchmark(
+        fork_fee_competition, (1000, 2000, 3000), 1_000_000
+    )
+    emit("\nAppendix B — key-block fork fee competition")
+    emit(f"attacker branch fees:   {outcome.attacker_branch_fees}")
+    emit(f"competitor branch fees: {outcome.competitor_branch_fees}")
+    # "its competitor will copy those same transactions and remove the
+    # attacker's advantage."
+    assert outcome.advantage_eliminated

@@ -1,0 +1,44 @@
+"""The selfish-mining threshold study behind the 1/4 bound (Section 2).
+
+The model caps Byzantine power at 1/4 "because proof-of-work
+blockchains, Bitcoin-NG included, are vulnerable to selfish mining by
+attackers larger than 1/4 of the network".  This regenerates the
+revenue-vs-α curve at the conservative tie-winning parameter γ = 1/2
+and confirms the crossover sits at 1/4.
+"""
+
+import pytest
+
+from repro.attacks import revenue_curve, selfish_threshold
+from conftest import emit
+
+ALPHAS = (0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40)
+
+
+def _curve():
+    return revenue_curve(gamma=0.5, alphas=ALPHAS, n_blocks=200_000)
+
+
+def test_selfish_mining_threshold(benchmark):
+    curve = benchmark.pedantic(_curve, rounds=1, iterations=1)
+
+    threshold = selfish_threshold(0.5)
+    emit("\nSelfish mining revenue share vs attacker size (γ = 0.5)")
+    emit(f"{'alpha':>7}{'share':>9}{'gain':>9}")
+    for outcome in curve:
+        emit(
+            f"{outcome.alpha:>7.2f}{outcome.attacker_revenue_share:>9.4f}"
+            f"{outcome.relative_gain:>+9.4f}"
+        )
+    emit(f"\nclosed-form threshold: α = {threshold:.4f}")
+
+    assert threshold == pytest.approx(0.25)
+    # Below the threshold selfish mining loses, above it wins.
+    for outcome in curve:
+        if outcome.alpha <= 0.20:
+            assert outcome.relative_gain < 0.005
+        if outcome.alpha >= 0.30:
+            assert outcome.relative_gain > 0.005
+    # Revenue share is monotone in attacker size.
+    shares = [o.attacker_revenue_share for o in curve]
+    assert shares == sorted(shares)

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""A light-client merchant verifying a Bitcoin-NG payment via SPV.
+
+Bitcoin-NG is unusually friendly to light clients: the header chain
+grows at the *key block* rate (one small header per ~100 s) no matter
+how many transactions flow through microblocks.  A merchant keeps only
+key headers; the customer's full node supplies an inclusion proof — a
+Merkle branch into the signed microblock header — and the merchant
+checks it against the epoch key from its own header chain plus a
+burial-depth requirement.
+
+Run:  python examples/light_client.py
+"""
+
+from repro.bitcoin.blocks import TxPayload
+from repro.core import (
+    LightClient,
+    NGParams,
+    build_inclusion_proof,
+    build_key_block,
+    build_microblock,
+    make_ng_genesis,
+)
+from repro.core.remuneration import build_ng_coinbase
+from repro.crypto.hashing import hash160
+from repro.crypto.keys import PrivateKey
+from repro.ledger.transactions import COIN, OutPoint, Transaction, TxInput, TxOutput
+from repro.wallet import Wallet
+
+PARAMS = NGParams()
+
+
+def _key_block(prev, leader_key, t, miner):
+    return build_key_block(
+        prev_hash=prev,
+        timestamp=t,
+        bits=0x207FFFFF,
+        leader_pubkey=leader_key.public_key().to_bytes(),
+        coinbase=build_ng_coinbase(
+            miner_id=miner,
+            timestamp=t,
+            self_pubkey_hash=hash160(leader_key.public_key().to_bytes()),
+            prev_leader_pubkey_hash=None,
+            prev_epoch_fees=0,
+            params=PARAMS,
+        ),
+    )
+
+
+def main() -> None:
+    customer = Wallet("customer")
+    merchant = Wallet("merchant")
+    leader = PrivateKey.from_seed("epoch-leader")
+    next_leader = PrivateKey.from_seed("next-epoch-leader")
+
+    # The customer pays the merchant 5 coins (signed, real transaction).
+    payment = Transaction(
+        inputs=(TxInput(OutPoint(b"\x99" * 32, 0)),),
+        outputs=(TxOutput(5 * COIN, merchant.pubkey_hash()),),
+    ).sign_input(0, customer.key())
+    print(f"customer pays merchant 5 coins (txid {payment.txid.hex()[:16]}…)")
+
+    # On-chain: K1 elects a leader, whose microblock serializes the
+    # payment among others; K2 closes the epoch.
+    genesis = make_ng_genesis()
+    k1 = _key_block(genesis.hash, leader, 10.0, miner=1)
+    other_txs = tuple(
+        Transaction(
+            inputs=(TxInput(OutPoint(bytes([i]) * 32, 0)),),
+            outputs=(TxOutput(1, bytes(20)),),
+        )
+        for i in range(1, 8)
+    )
+    micro = build_microblock(
+        k1.hash, 20.0, TxPayload(other_txs + (payment,)), leader
+    )
+    k2 = _key_block(micro.hash, next_leader, 110.0, miner=2)
+    print(f"payment lands in a microblock with {micro.n_tx} entries")
+
+    # The merchant's light client syncs only the two key headers.
+    client = LightClient(genesis)
+    client.add_header(k1.header, genesis.hash)
+    client.add_header(k2.header, k1.hash)
+    print(f"merchant's light client holds {client.height()} key headers "
+          f"(~{2 * 145} bytes) — not the microblock bodies")
+
+    # A full node hands over the inclusion proof.
+    proof = build_inclusion_proof(micro, payment.txid, k1.hash)
+    print(f"inclusion proof: Merkle branch of {len(proof.merkle_branch)} "
+          f"hashes + signed microblock header")
+
+    assert client.verify(proof, min_key_depth=1)
+    print("proof verifies: leader-signed, on the best header chain, "
+          "buried under 1 key block ✓")
+
+    # Tampering is caught.
+    fake = Transaction(
+        inputs=(TxInput(OutPoint(b"\x99" * 32, 0)),),
+        outputs=(TxOutput(500 * COIN, merchant.pubkey_hash()),),
+    ).sign_input(0, customer.key())
+    forged = build_inclusion_proof(micro, payment.txid, k1.hash)
+    forged = type(forged)(
+        txid=fake.txid,
+        merkle_branch=forged.merkle_branch,
+        micro_header=forged.micro_header,
+        micro_signature=forged.micro_signature,
+        key_block_hash=forged.key_block_hash,
+    )
+    assert not client.verify(forged)
+    print("a forged 500-coin proof is rejected ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: run Bitcoin and Bitcoin-NG side by side and compare.
+
+Builds a 50-node simulated network (the paper's topology at small
+scale), runs each protocol at the same payload throughput, and prints
+the six evaluation metrics from Section 6 of the paper.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.experiments import (
+    ExperimentConfig,
+    Protocol,
+    constant_throughput_block_size,
+    run_experiment,
+)
+
+# One block every 10 seconds — far faster than operational Bitcoin, the
+# regime where the protocols differ visibly.
+BLOCK_FREQUENCY = 0.1
+
+METRICS = (
+    ("consensus_delay", "consensus delay", "s"),
+    ("fairness", "fairness", ""),
+    ("mining_power_utilization", "mining power utilization", ""),
+    ("time_to_prune", "time to prune (p90)", "s"),
+    ("time_to_win", "time to win (p90)", "s"),
+    ("transaction_frequency", "transaction frequency", "tx/s"),
+)
+
+
+def main() -> None:
+    base = ExperimentConfig(
+        n_nodes=50,
+        block_rate=BLOCK_FREQUENCY,
+        block_size_bytes=constant_throughput_block_size(BLOCK_FREQUENCY),
+        key_block_rate=1.0 / 100.0,
+        target_blocks=60,
+        target_key_blocks=15,
+        seed=7,
+    )
+    print(f"{base.n_nodes} nodes, block/microblock frequency "
+          f"{BLOCK_FREQUENCY}/s, block size {base.block_size_bytes} B\n")
+    results = {}
+    for protocol in (Protocol.BITCOIN, Protocol.BITCOIN_NG):
+        print(f"running {protocol.value} ...")
+        result, _ = run_experiment(base.with_(protocol=protocol))
+        results[protocol] = result
+    print(f"\n{'metric':<28}{'bitcoin':>12}{'bitcoin-ng':>12}")
+    for attribute, label, unit in METRICS:
+        bitcoin_value = getattr(results[Protocol.BITCOIN], attribute)
+        ng_value = getattr(results[Protocol.BITCOIN_NG], attribute)
+        suffix = f" {unit}" if unit else ""
+        print(f"{label:<28}{bitcoin_value:>12.3f}{ng_value:>12.3f}{suffix}")
+    print(
+        "\nExpected shape (paper, Section 8): Bitcoin-NG keeps fairness and\n"
+        "mining power utilization near 1.0 and pushes consensus delay down\n"
+        "to network propagation time, while Bitcoin wastes mining power on\n"
+        "forks at this frequency."
+    )
+
+
+if __name__ == "__main__":
+    main()

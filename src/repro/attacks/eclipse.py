@@ -1,0 +1,115 @@
+"""Eclipse attacks: isolating a victim behind attacker-controlled peers.
+
+The paper's network section cites Heilman et al.'s eclipse attacks on
+Bitcoin's peer-to-peer layer as the reason the real topology is kept
+hidden.  This module plays the classic eclipse + double-spend against
+our protocol stack: the attacker monopolizes a victim's connections,
+feeds it a private fork containing a payment to the victim, and after
+the victim accepts it, reconnects the victim to the honest (heavier)
+network — pruning the payment.
+
+The defence knob is the same confirmation depth the wallet's
+:class:`~repro.wallet.confirmation.ConfirmationPolicy` exposes: an
+eclipsed attacker with a small power share falls behind the honest
+chain, so requiring more burial makes the fake payment visibly stall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..bitcoin.blocks import make_genesis
+from ..bitcoin.node import BitcoinNode, BlockPolicy
+from ..net.latency import constant_histogram
+from ..net.network import Message, Network
+from ..net.partitions import PartitionController
+from ..net.simulator import Simulator
+from ..net.topology import complete_topology
+
+
+@dataclass(frozen=True)
+class EclipseReport:
+    """What the scenario demonstrates."""
+
+    victim_accepted_fake_chain: bool
+    fake_depth_reached: int
+    honest_chain_heavier: bool
+    payment_pruned_after_heal: bool
+    honest_height: int
+    fake_height: int
+
+
+def run_eclipse_scenario(
+    n_honest: int = 5,
+    attacker_blocks: int = 2,
+    honest_blocks: int = 4,
+    seed: int = 0,
+) -> EclipseReport:
+    """Eclipse a victim, feed it a fake chain, heal, observe the reorg.
+
+    Node layout: 0..n_honest-1 honest miners, ``n_honest`` = attacker,
+    ``n_honest + 1`` = victim.  All pairs connected; the partition
+    controller cuts everything from the victim except the attacker.
+    """
+    if attacker_blocks >= honest_blocks:
+        raise ValueError(
+            "scenario needs the honest chain to outgrow the attacker's"
+        )
+    n_nodes = n_honest + 2
+    attacker = n_honest
+    victim = n_honest + 1
+    sim = Simulator(seed=seed)
+    network = Network(
+        sim, complete_topology(n_nodes), constant_histogram(0.05), 1e6
+    )
+    genesis = make_genesis()
+    policy = BlockPolicy(max_block_bytes=2000)
+    nodes = [
+        BitcoinNode(i, sim, network, genesis, policy=policy)
+        for i in range(n_nodes)
+    ]
+    partition = PartitionController(network)
+    # The attacker also cuts itself off from the honest network so its
+    # private chain stays private.
+    partition.isolate(victim, except_peers={attacker})
+    for peer in network.neighbors(attacker):
+        if peer != victim:
+            network.block_link(attacker, peer)
+
+    # Attacker mines the fake chain straight to the victim.
+    for _ in range(attacker_blocks):
+        nodes[attacker].generate_block()
+        sim.run()
+    fake_tip = nodes[attacker].tip
+    victim_accepted = nodes[victim].tip == fake_tip
+    fake_depth = nodes[victim].height
+
+    # Meanwhile the honest majority mines on.
+    for i in range(honest_blocks):
+        nodes[i % n_honest].generate_block()
+        sim.run()
+    honest_tip = nodes[0].tip
+    honest_height = nodes[0].height
+
+    # Heal: the victim reconnects and hears the heavier chain via a
+    # re-announcement from any honest peer.
+    partition.heal()
+    for peer in network.neighbors(attacker):
+        network.unblock_link(attacker, peer)
+    for block_hash in nodes[0].tree.main_chain()[1:]:
+        stored = nodes[0].get_object(block_hash)
+        assert stored is not None
+        network.send(0, victim, Message("object", stored, stored.size))
+    sim.run()
+
+    return EclipseReport(
+        victim_accepted_fake_chain=victim_accepted,
+        fake_depth_reached=fake_depth,
+        honest_chain_heavier=honest_height > fake_depth,
+        payment_pruned_after_heal=(
+            nodes[victim].tip == honest_tip
+            and not nodes[victim].tree.is_in_main_chain(fake_tip)
+        ),
+        honest_height=honest_height,
+        fake_height=fake_depth,
+    )

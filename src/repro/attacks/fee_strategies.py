@@ -1,0 +1,160 @@
+"""Monte-Carlo validation of the Section 5 fee-split analysis.
+
+The closed forms in :mod:`repro.core.incentives` come from two
+single-transaction deviation strategies.  Here each strategy is played
+out as a random process so the algebra can be checked empirically, and
+Appendix B's fee-competition argument (branches copy each other's
+transactions, cancelling bribe advantages) is modelled as well.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StrategyOutcome:
+    """Empirical revenue of a deviation vs honest play."""
+
+    alpha: float
+    leader_fraction: float
+    deviation_revenue: float
+    honest_revenue: float
+    trials: int
+
+    @property
+    def deviation_profitable(self) -> bool:
+        return self.deviation_revenue > self.honest_revenue
+
+
+def simulate_inclusion_strategy(
+    alpha: float,
+    leader_fraction: float,
+    n_trials: int = 200_000,
+    seed: int = 0,
+) -> StrategyOutcome:
+    """The secret-microblock strategy (Section 5.1, first inequality).
+
+    A leader holding a fee-bearing transaction mines on a *secret*
+    microblock containing it.  With probability α it wins the next key
+    block and earns 100% of the fee; otherwise the transaction is placed
+    by another leader and the attacker earns the next-leader share
+    (1 − r) only if it mines the following key block (probability α).
+    Honest play earns r.
+    """
+    _check(alpha, leader_fraction)
+    rng = random.Random(seed)
+    total = 0.0
+    for _ in range(n_trials):
+        if rng.random() < alpha:
+            total += 1.0  # won the race: the whole fee
+        elif rng.random() < alpha:
+            total += 1.0 - leader_fraction  # mined after the re-placement
+    return StrategyOutcome(
+        alpha=alpha,
+        leader_fraction=leader_fraction,
+        deviation_revenue=total / n_trials,
+        honest_revenue=leader_fraction,
+        trials=n_trials,
+    )
+
+
+def simulate_extension_strategy(
+    alpha: float,
+    leader_fraction: float,
+    n_trials: int = 200_000,
+    seed: int = 0,
+) -> StrategyOutcome:
+    """The mine-around strategy (Section 5.1, second inequality).
+
+    A miner skips the microblock holding the transaction, re-places the
+    transaction in its own microblock (earning r) and with probability α
+    also wins the subsequent key block (earning 1 − r more).  Honest
+    play — mining on the existing microblock — earns the next-leader
+    share 1 − r.
+    """
+    _check(alpha, leader_fraction)
+    rng = random.Random(seed)
+    total = 0.0
+    for _ in range(n_trials):
+        total += leader_fraction
+        if rng.random() < alpha:
+            total += 1.0 - leader_fraction
+    return StrategyOutcome(
+        alpha=alpha,
+        leader_fraction=leader_fraction,
+        deviation_revenue=total / n_trials,
+        honest_revenue=1.0 - leader_fraction,
+        trials=n_trials,
+    )
+
+
+def _check(alpha: float, leader_fraction: float) -> None:
+    if not 0 <= alpha < 1:
+        raise ValueError("alpha must be in [0, 1)")
+    if not 0 <= leader_fraction <= 1:
+        raise ValueError("leader fraction must be in [0, 1]")
+
+
+def profitable_window(
+    alpha: float,
+    fractions: tuple[float, ...] = tuple(i / 100 for i in range(0, 101, 2)),
+    n_trials: int = 50_000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Empirical (lower, upper) bounds on a safe leader fraction.
+
+    Scans r and returns the range where *neither* deviation is
+    profitable — the Monte-Carlo image of the closed-form window.
+    """
+    safe = [
+        r
+        for r in fractions
+        if not simulate_inclusion_strategy(
+            alpha, r, n_trials, seed
+        ).deviation_profitable
+        and not simulate_extension_strategy(
+            alpha, r, n_trials, seed + 1
+        ).deviation_profitable
+    ]
+    if not safe:
+        return (float("nan"), float("nan"))
+    return (min(safe), max(safe))
+
+
+# -- Appendix B: fee competition on a key-block fork ----------------------
+
+
+@dataclass(frozen=True)
+class ForkCompetitionOutcome:
+    """Fee totals on two competing branches after transaction copying."""
+
+    attacker_branch_fees: int
+    competitor_branch_fees: int
+
+    @property
+    def advantage_eliminated(self) -> bool:
+        return self.attacker_branch_fees == self.competitor_branch_fees
+
+
+def fork_fee_competition(
+    base_fees: tuple[int, ...],
+    attacker_bribe: int,
+) -> ForkCompetitionOutcome:
+    """Appendix B's argument, concretely.
+
+    An attacker on one side of a key-block fork adds a large bribe
+    transaction to attract miners.  "Each branch may copy the
+    transactions placed in the microblocks of the competing branch, and
+    so even if an attacker is motivated to place significant fees due to
+    external incentives, its competitor will copy those same
+    transactions and remove the attacker's advantage."
+    """
+    if attacker_bribe < 0 or any(fee < 0 for fee in base_fees):
+        raise ValueError("fees cannot be negative")
+    attacker_branch = sum(base_fees) + attacker_bribe
+    # The competitor copies everything visible on the attacker's branch,
+    # the bribe included — the fee totals equalize.
+    competitor_branch = sum(base_fees) + attacker_bribe
+    return ForkCompetitionOutcome(attacker_branch, competitor_branch)

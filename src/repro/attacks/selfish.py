@@ -1,0 +1,187 @@
+"""Selfish mining: why the model bounds attackers at 1/4 (Section 2).
+
+"proof-of-work blockchains, Bitcoin-NG included, are vulnerable to
+selfish mining by attackers larger than 1/4 of the network [21]."
+
+This module implements the Eyal–Sirer selfish mining strategy as a
+Monte-Carlo simulation over the key-block race, plus the closed-form
+profitability threshold, and the ablation DESIGN.md calls out: what
+happens if microblocks *did* carry weight (Section 5.1 argues they must
+not, or withholding becomes strictly stronger).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+
+def selfish_threshold(gamma: float) -> float:
+    """Profitability threshold α(γ) from Eyal–Sirer.
+
+    γ is the fraction of honest miners that mine on the attacker's
+    branch during a tie (the attacker's "rushing" ability).  γ = 0
+    gives 1/3; γ = 1 gives 0; the conservative γ = 1/2 point is ~1/4 —
+    the bound the paper adopts.
+    """
+    if not 0 <= gamma <= 1:
+        raise ValueError("gamma must be in [0, 1]")
+    return (1.0 - gamma) / (3.0 - 2.0 * gamma)
+
+
+@dataclass(frozen=True)
+class SelfishOutcome:
+    """Result of one selfish-mining simulation."""
+
+    alpha: float
+    gamma: float
+    blocks_simulated: int
+    attacker_main_blocks: int
+    honest_main_blocks: int
+
+    @property
+    def attacker_revenue_share(self) -> float:
+        total = self.attacker_main_blocks + self.honest_main_blocks
+        if total == 0:
+            return 0.0
+        return self.attacker_main_blocks / total
+
+    @property
+    def relative_gain(self) -> float:
+        """Revenue share minus the honest-mining share α."""
+        return self.attacker_revenue_share - self.alpha
+
+
+def simulate_selfish_mining(
+    alpha: float,
+    gamma: float = 0.5,
+    n_blocks: int = 100_000,
+    seed: int = 0,
+) -> SelfishOutcome:
+    """Monte-Carlo of the Eyal–Sirer state machine.
+
+    The attacker withholds found blocks and publishes judiciously; state
+    is its private lead over the public chain, with the special "tie
+    race" state after a forced 1-1 publication.
+    """
+    if not 0 < alpha < 0.5:
+        raise ValueError("alpha must be in (0, 0.5)")
+    if not 0 <= gamma <= 1:
+        raise ValueError("gamma must be in [0, 1]")
+    rng = random.Random(seed)
+    lead = 0  # private chain length minus public chain length
+    tie_race = False  # two branches of equal length are public
+    attacker_blocks = 0
+    honest_blocks = 0
+    for _ in range(n_blocks):
+        attacker_found = rng.random() < alpha
+        if attacker_found:
+            if tie_race:
+                # Attacker extends its tie branch and wins both blocks.
+                attacker_blocks += 2
+                tie_race = False
+                lead = 0
+            else:
+                lead += 1
+        else:
+            if tie_race:
+                # An honest block lands during the race.
+                if rng.random() < gamma:
+                    # On the attacker's branch: attacker's tie block wins.
+                    attacker_blocks += 1
+                    honest_blocks += 1
+                else:
+                    honest_blocks += 2
+                tie_race = False
+                lead = 0
+            elif lead == 0:
+                honest_blocks += 1
+            elif lead == 1:
+                # Honest catches up; attacker publishes — a tie race.
+                tie_race = True
+                lead = 0
+            elif lead == 2:
+                # Attacker publishes everything and takes the lead.
+                attacker_blocks += 2
+                lead = 0
+            else:
+                # Far ahead: release one block, keep the lead.
+                attacker_blocks += 1
+                lead -= 1
+    # Settle any remaining private lead.
+    attacker_blocks += max(0, lead)
+    return SelfishOutcome(
+        alpha=alpha,
+        gamma=gamma,
+        blocks_simulated=n_blocks,
+        attacker_main_blocks=attacker_blocks,
+        honest_main_blocks=honest_blocks,
+    )
+
+
+def revenue_curve(
+    gamma: float,
+    alphas: tuple[float, ...] = (0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4),
+    n_blocks: int = 100_000,
+    seed: int = 0,
+) -> list[SelfishOutcome]:
+    """Revenue share across attacker sizes — the threshold study."""
+    return [
+        simulate_selfish_mining(alpha, gamma, n_blocks, seed + i)
+        for i, alpha in enumerate(alphas)
+    ]
+
+
+# -- weighted-microblock ablation ---------------------------------------
+
+
+def leadership_retention_probability(
+    micro_weight_fraction: float,
+    key_block_interval: float,
+    microblock_interval: float,
+) -> float:
+    """P(a leader outweighs the next key block with microblocks alone).
+
+    The ablation: if a microblock carried ``micro_weight_fraction`` of a
+    key block's weight, a leader ignoring a competing key block regains
+    the heaviest chain after 1/fraction microblock intervals.  The next
+    honest key block arrives Exp(key interval)-distributed, so the
+    leader wins with probability exp(−t_catchup / key_interval) —
+    positive for *any* positive microblock weight, with **zero** mining
+    power.  With weight 0 (Bitcoin-NG's rule) the probability is 0.
+    """
+    if micro_weight_fraction < 0:
+        raise ValueError("weight fraction cannot be negative")
+    if key_block_interval <= 0 or microblock_interval <= 0:
+        raise ValueError("intervals must be positive")
+    if micro_weight_fraction == 0:
+        return 0.0
+    catchup_time = (1.0 / micro_weight_fraction) * microblock_interval
+    return math.exp(-catchup_time / key_block_interval)
+
+
+def simulate_weighted_micro_takeover(
+    micro_weight_fraction: float,
+    key_block_interval: float,
+    microblock_interval: float,
+    n_trials: int = 20_000,
+    seed: int = 0,
+) -> float:
+    """Monte-Carlo counterpart of :func:`leadership_retention_probability`.
+
+    Each trial: an honest key block just displaced the (malicious)
+    leader; the leader keeps emitting weighted microblocks on its own
+    branch.  It wins if it accumulates one key block's worth of weight
+    before the *next* honest key block lands.
+    """
+    if micro_weight_fraction <= 0:
+        return 0.0
+    rng = random.Random(seed)
+    catchup_time = (1.0 / micro_weight_fraction) * microblock_interval
+    wins = 0
+    for _ in range(n_trials):
+        next_honest_key = rng.expovariate(1.0 / key_block_interval)
+        if next_honest_key > catchup_time:
+            wins += 1
+    return wins / n_trials

@@ -1,0 +1,253 @@
+"""The Bitcoin block tree and heaviest-chain fork choice.
+
+"To resolve forks ... the winning chain is the heaviest one, that is,
+the one that required (in expectancy) the most mining power to generate.
+All miners add blocks to the heaviest chain of which they know, with
+random tie-breaking" (Section 3).  The operational client instead keeps
+the first branch it heard of (footnote 2); both policies are provided.
+
+The tree tracks cumulative work, computes reorganization paths, buffers
+orphans whose parents have not arrived yet, and reports pruned branches
+for the time-to-prune metric.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+from .blocks import Block, InvalidBlock
+
+
+class TieBreak(enum.Enum):
+    """Policy when two branches have exactly equal cumulative work."""
+
+    FIRST_SEEN = "first-seen"  # operational Bitcoin client
+    RANDOM = "random"  # the paper's (and [21]'s) recommendation
+
+
+@dataclass
+class BlockRecord:
+    """A block plus its position in the tree."""
+
+    block: Block
+    height: int
+    cumulative_work: int
+    arrival_time: float
+    children: list[bytes] = field(default_factory=list)
+
+    @property
+    def hash(self) -> bytes:
+        return self.block.hash
+
+    @property
+    def parent_hash(self) -> bytes:
+        return self.block.header.prev_hash
+
+
+@dataclass(frozen=True)
+class Reorg:
+    """A tip change: blocks leaving and entering the main chain.
+
+    ``disconnected`` is ordered tip-first (the order state must be
+    unwound); ``connected`` is ordered fork-point-first (the order state
+    must be applied).
+    """
+
+    old_tip: bytes
+    new_tip: bytes
+    disconnected: tuple[bytes, ...]
+    connected: tuple[bytes, ...]
+
+    @property
+    def is_extension(self) -> bool:
+        """True when the tip simply advanced without unwinding."""
+        return not self.disconnected
+
+
+class BlockTree:
+    """One node's view of all blocks it knows, with fork choice."""
+
+    def __init__(
+        self,
+        genesis: Block,
+        tie_break: TieBreak = TieBreak.FIRST_SEEN,
+        rng: random.Random | None = None,
+    ) -> None:
+        self._records: dict[bytes, BlockRecord] = {}
+        self._orphans: dict[bytes, list[tuple[Block, float]]] = {}
+        self.tie_break = tie_break
+        self.rng = rng or random.Random(0)
+        self.genesis_hash = genesis.hash
+        record = BlockRecord(genesis, height=0, cumulative_work=0, arrival_time=0.0)
+        self._records[genesis.hash] = record
+        self._tip = genesis.hash
+
+    # -- queries --------------------------------------------------------
+
+    def __contains__(self, block_hash: bytes) -> bool:
+        return block_hash in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def tip(self) -> bytes:
+        return self._tip
+
+    @property
+    def tip_record(self) -> BlockRecord:
+        return self._records[self._tip]
+
+    def record(self, block_hash: bytes) -> BlockRecord:
+        return self._records[block_hash]
+
+    def get(self, block_hash: bytes) -> BlockRecord | None:
+        return self._records.get(block_hash)
+
+    def height_of(self, block_hash: bytes) -> int:
+        return self._records[block_hash].height
+
+    def work_of(self, block_hash: bytes) -> int:
+        return self._records[block_hash].cumulative_work
+
+    def main_chain(self, tip: bytes | None = None) -> list[bytes]:
+        """Hashes from genesis to ``tip`` (default: current tip)."""
+        chain: list[bytes] = []
+        cursor = tip if tip is not None else self._tip
+        while True:
+            record = self._records[cursor]
+            chain.append(cursor)
+            if cursor == self.genesis_hash:
+                break
+            cursor = record.parent_hash
+        chain.reverse()
+        return chain
+
+    def is_in_main_chain(self, block_hash: bytes) -> bool:
+        """True when the block is an ancestor-or-equal of the tip."""
+        record = self._records.get(block_hash)
+        if record is None:
+            return False
+        cursor = self._records[self._tip]
+        while cursor.height > record.height:
+            cursor = self._records[cursor.parent_hash]
+        return cursor.hash == block_hash
+
+    def find_fork_point(self, a: bytes, b: bytes) -> bytes:
+        """Lowest common ancestor of two blocks."""
+        ra, rb = self._records[a], self._records[b]
+        while ra.height > rb.height:
+            ra = self._records[ra.parent_hash]
+        while rb.height > ra.height:
+            rb = self._records[rb.parent_hash]
+        while ra.hash != rb.hash:
+            ra = self._records[ra.parent_hash]
+            rb = self._records[rb.parent_hash]
+        return ra.hash
+
+    def leaves(self) -> list[bytes]:
+        """All blocks without children — the heads of every branch."""
+        return [h for h, record in self._records.items() if not record.children]
+
+    def pruned_blocks(self) -> list[bytes]:
+        """All known blocks not on the current main chain."""
+        main = set(self.main_chain())
+        return [h for h in self._records if h not in main]
+
+    # -- mutation -------------------------------------------------------
+
+    def add_block(self, block: Block, arrival_time: float) -> list[Reorg]:
+        """Insert a block (and any orphans it unlocks); return tip changes.
+
+        Unknown-parent blocks are buffered and connected when the parent
+        arrives, so out-of-order gossip delivery is handled here rather
+        than by every caller.
+        """
+        if block.hash in self._records:
+            return []
+        parent = self._records.get(block.header.prev_hash)
+        if parent is None:
+            self._orphans.setdefault(block.header.prev_hash, []).append(
+                (block, arrival_time)
+            )
+            return []
+        reorgs = [self._connect(block, parent, arrival_time)]
+        # Adopt any orphans waiting on this block, recursively.
+        pending = [block.hash]
+        while pending:
+            parent_hash = pending.pop()
+            for orphan, orphan_time in self._orphans.pop(parent_hash, []):
+                reorg = self._connect(
+                    orphan, self._records[parent_hash], max(orphan_time, arrival_time)
+                )
+                reorgs.append(reorg)
+                pending.append(orphan.hash)
+        return [r for r in reorgs if r is not None]
+
+    def _connect(
+        self, block: Block, parent: BlockRecord, arrival_time: float
+    ) -> Reorg | None:
+        record = BlockRecord(
+            block,
+            height=parent.height + 1,
+            cumulative_work=parent.cumulative_work + block.header.work,
+            arrival_time=arrival_time,
+        )
+        self._records[block.hash] = record
+        parent.children.append(block.hash)
+        return self._maybe_switch_tip(record)
+
+    def _maybe_switch_tip(self, candidate: BlockRecord) -> Reorg | None:
+        current = self._records[self._tip]
+        if candidate.cumulative_work < current.cumulative_work:
+            return None
+        if candidate.cumulative_work == current.cumulative_work:
+            if candidate.hash == current.hash:
+                return None
+            if self.tie_break is TieBreak.FIRST_SEEN:
+                return None
+            if self.rng.random() < 0.5:
+                return None
+        return self._switch_tip(candidate.hash)
+
+    def _switch_tip(self, new_tip: bytes) -> Reorg:
+        old_tip = self._tip
+        fork = self.find_fork_point(old_tip, new_tip)
+        disconnected = []
+        cursor = old_tip
+        while cursor != fork:
+            disconnected.append(cursor)
+            cursor = self._records[cursor].parent_hash
+        connected = []
+        cursor = new_tip
+        while cursor != fork:
+            connected.append(cursor)
+            cursor = self._records[cursor].parent_hash
+        connected.reverse()
+        self._tip = new_tip
+        return Reorg(old_tip, new_tip, tuple(disconnected), tuple(connected))
+
+    def orphan_count(self) -> int:
+        return sum(len(waiting) for waiting in self._orphans.values())
+
+    def assert_consistent(self) -> None:
+        """Structural invariants, used by property-based tests."""
+        for block_hash, record in self._records.items():
+            if block_hash == self.genesis_hash:
+                continue
+            parent = self._records.get(record.parent_hash)
+            if parent is None:
+                raise InvalidBlock("dangling parent pointer in tree")
+            if record.height != parent.height + 1:
+                raise InvalidBlock("height does not increment from parent")
+            expected = parent.cumulative_work + record.block.header.work
+            if record.cumulative_work != expected:
+                raise InvalidBlock("cumulative work mismatch")
+            if block_hash not in parent.children:
+                raise InvalidBlock("child not registered with parent")
+        tip_work = self._records[self._tip].cumulative_work
+        best = max(r.cumulative_work for r in self._records.values())
+        if tip_work != best:
+            raise InvalidBlock("tip is not a heaviest block")

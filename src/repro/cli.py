@@ -1,0 +1,165 @@
+"""Command-line interface: run experiments without writing code.
+
+Examples::
+
+    python -m repro run --protocol bitcoin-ng --nodes 100 \
+        --block-rate 0.1 --block-size 20000
+    python -m repro sweep frequency --nodes 60
+    python -m repro sweep size --nodes 60 --seeds 0 1
+    python -m repro propagation --nodes 60
+    python -m repro incentives --alpha 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import (
+    ExperimentConfig,
+    Protocol,
+    format_propagation_table,
+    format_sweep_table,
+    frequency_sweep,
+    propagation_study,
+    run_experiment,
+    size_sweep,
+)
+
+_PROTOCOLS = {protocol.value: protocol for protocol in Protocol}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--nodes", type=int, default=100, help="network size")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--blocks", type=int, default=60, help="target blocks per run"
+    )
+
+
+def _base_config(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        n_nodes=args.nodes,
+        seed=args.seed,
+        target_blocks=args.blocks,
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _base_config(args).with_(
+        protocol=_PROTOCOLS[args.protocol],
+        block_rate=args.block_rate,
+        block_size_bytes=args.block_size,
+        key_block_rate=args.key_block_rate,
+    )
+    result, log = run_experiment(config)
+    print(f"protocol:                {args.protocol}")
+    print(f"blocks generated:        {result.blocks_generated}")
+    print(f"main chain length:       {result.main_chain_length}")
+    for name, value in sorted(result.as_row().items()):
+        print(f"{name + ':':<25}{value:.4f}")
+    if args.save_trace:
+        from .metrics import save_trace
+
+        save_trace(log, args.save_trace)
+        print(f"trace saved:             {args.save_trace}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .experiments import sweep_chart
+
+    base = _base_config(args)
+    seeds = tuple(args.seeds)
+    if args.axis == "frequency":
+        sweep = frequency_sweep(base, seeds=seeds)
+    else:
+        sweep = size_sweep(base, seeds=seeds)
+    print(format_sweep_table(sweep))
+    if args.chart:
+        for metric in args.chart:
+            print()
+            print(sweep_chart(sweep, metric))
+    return 0
+
+
+def _cmd_propagation(args: argparse.Namespace) -> int:
+    points = propagation_study(_base_config(args))
+    print(format_propagation_table(points))
+    return 0
+
+
+def _cmd_incentives(args: argparse.Namespace) -> int:
+    from .core.incentives import critical_alpha, incentive_window
+
+    window = incentive_window(args.alpha)
+    print(f"attacker fraction alpha: {args.alpha}")
+    print(f"lower bound on r:        {window.lower:.4f}")
+    print(f"upper bound on r:        {window.upper:.4f}")
+    print(f"feasible:                {window.feasible}")
+    print(f"paper's r = 0.40 safe:   {window.contains(0.40)}")
+    print(f"critical alpha @ r=0.40: {critical_alpha(0.40):.4f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Bitcoin-NG reproduction: simulations and analysis",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser("run", help="run one experiment")
+    _add_common(run_parser)
+    run_parser.add_argument(
+        "--protocol",
+        choices=sorted(_PROTOCOLS),
+        default="bitcoin-ng",
+    )
+    run_parser.add_argument("--block-rate", type=float, default=0.1)
+    run_parser.add_argument("--block-size", type=int, default=20_000)
+    run_parser.add_argument("--key-block-rate", type=float, default=0.01)
+    run_parser.add_argument(
+        "--save-trace",
+        metavar="PATH",
+        help="export the execution's observation log as JSON",
+    )
+    run_parser.set_defaults(handler=_cmd_run)
+
+    sweep_parser = commands.add_parser(
+        "sweep", help="run a Figure 8 parameter sweep"
+    )
+    sweep_parser.add_argument("axis", choices=("frequency", "size"))
+    _add_common(sweep_parser)
+    sweep_parser.add_argument(
+        "--seeds", type=int, nargs="+", default=[0], help="seeds to average"
+    )
+    sweep_parser.add_argument(
+        "--chart",
+        nargs="+",
+        metavar="METRIC",
+        help="also render ASCII charts for these metrics",
+    )
+    sweep_parser.set_defaults(handler=_cmd_sweep)
+
+    prop_parser = commands.add_parser(
+        "propagation", help="run the Figure 7 propagation study"
+    )
+    _add_common(prop_parser)
+    prop_parser.set_defaults(handler=_cmd_propagation)
+
+    inc_parser = commands.add_parser(
+        "incentives", help="print the Section 5 fee-split window"
+    )
+    inc_parser.add_argument("--alpha", type=float, default=0.25)
+    inc_parser.set_defaults(handler=_cmd_incentives)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Genesis construction for Bitcoin-NG networks.
+
+"The first block, dubbed the genesis block, is defined as part of the
+protocol."  For Bitcoin-NG the genesis is a key block: it seeds the
+first epoch's leader key (a well-known throwaway key — nobody leads
+until the first real key block) and optionally endows addresses with
+spendable coins for library-mode examples and tests.
+"""
+
+from __future__ import annotations
+
+from ..crypto.hashing import tagged_hash
+from ..crypto.keys import PrivateKey
+from ..ledger.transactions import OutPoint, TxOutput, make_coinbase
+from ..ledger.utxo import UtxoSet
+from .blocks import KeyBlock, build_key_block
+
+# Deterministic, publicly known genesis leader key.
+GENESIS_LEADER_KEY = PrivateKey.from_seed("repro/ng-genesis-leader")
+
+
+def make_ng_genesis(
+    timestamp: float = 0.0,
+    bits: int = 0x207FFFFF,
+    leader_key: PrivateKey | None = None,
+) -> KeyBlock:
+    """Build the protocol-defined first key block."""
+    key = leader_key or GENESIS_LEADER_KEY
+    coinbase = make_coinbase([(bytes(20), 0)], tag=b"ng-genesis")
+    return build_key_block(
+        prev_hash=bytes(32),
+        timestamp=timestamp,
+        bits=bits,
+        leader_pubkey=key.public_key().to_bytes(),
+        coinbase=coinbase,
+    )
+
+
+def seed_genesis_coins(
+    utxo: UtxoSet, allocations: list[tuple[bytes, int]], salt: bytes = b"alloc"
+) -> list[OutPoint]:
+    """Endow addresses with genesis coins, returning their outpoints.
+
+    Mirrors how the paper's testbed "initialize[d] the blockchain with
+    artificial transactions" before each run.
+    """
+    outpoints = []
+    for index, (pubkey_hash, value) in enumerate(allocations):
+        txid = tagged_hash("repro/genesis-allocation", salt + bytes([index % 256, index // 256 % 256]))
+        outpoint = OutPoint(txid, index)
+        utxo.credit(TxOutput(value, pubkey_hash), outpoint, height=0)
+        outpoints.append(outpoint)
+    return outpoints

@@ -1,0 +1,163 @@
+"""Light-client (SPV) verification for Bitcoin-NG.
+
+A light client keeps only key block *headers* — they are tiny and rare,
+which makes NG unusually SPV-friendly: the header chain grows at the
+key-block rate regardless of transaction throughput.  A full node hands
+the client an :class:`InclusionProof` for a payment:
+
+* the Merkle branch from the transaction to the microblock's
+  ``entries_root`` (Section 4.2's "cryptographic hash of its ledger
+  entries" is a Merkle root here, as in Bitcoin);
+* the signed microblock header;
+* the hash of the key block whose epoch signed it.
+
+The client checks the branch, the leader signature against the epoch
+key from its own header chain, and how deeply the epoch is buried under
+later key blocks — the Nakamoto-style confidence knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..bitcoin.blocks import TxPayload
+from ..crypto.merkle import merkle_proof, verify_proof
+from .blocks import (
+    InvalidNGBlock,
+    KeyBlock,
+    KeyBlockHeader,
+    Microblock,
+    MicroblockHeader,
+    check_key_block,
+)
+
+
+class SpvError(Exception):
+    """Raised when a proof cannot be constructed or a header rejected."""
+
+
+@dataclass(frozen=True)
+class InclusionProof:
+    """Everything needed to verify a payment against key headers only."""
+
+    txid: bytes
+    merkle_branch: tuple[tuple[bytes, bool], ...]
+    micro_header: MicroblockHeader
+    micro_signature: bytes
+    key_block_hash: bytes  # the epoch whose leader signed the microblock
+
+
+def build_inclusion_proof(
+    micro: Microblock, txid: bytes, key_block_hash: bytes
+) -> InclusionProof:
+    """Full-node side: extract the proof for ``txid`` from a microblock."""
+    if not isinstance(micro.payload, TxPayload):
+        raise SpvError("inclusion proofs need a transaction payload")
+    hashes = micro.payload.entry_hashes
+    try:
+        index = hashes.index(txid)
+    except ValueError:
+        raise SpvError("transaction not in this microblock") from None
+    branch = tuple(merkle_proof(hashes, index))
+    return InclusionProof(
+        txid=txid,
+        merkle_branch=branch,
+        micro_header=micro.header,
+        micro_signature=micro.signature,
+        key_block_hash=key_block_hash,
+    )
+
+
+class LightClient:
+    """Tracks key block headers and verifies inclusion proofs.
+
+    Headers are accepted if they chain to a known parent; the best
+    chain is the one with the most cumulative key work, exactly the
+    full protocol's rule restricted to headers.
+    """
+
+    def __init__(self, genesis: KeyBlock, require_pow: bool = False) -> None:
+        self.require_pow = require_pow
+        self.genesis_hash = genesis.hash
+        self._headers: dict[bytes, KeyBlockHeader] = {
+            genesis.hash: genesis.header
+        }
+        self._parents: dict[bytes, bytes] = {}
+        self._work: dict[bytes, int] = {genesis.hash: 0}
+        self._height: dict[bytes, int] = {genesis.hash: 0}
+        self._best = genesis.hash
+
+    # -- header sync -------------------------------------------------------
+
+    def add_header(
+        self, header: KeyBlockHeader, parent_key_hash: bytes
+    ) -> bool:
+        """Accept one key header; ``parent_key_hash`` is the previous
+        *key block* (microblocks between them are invisible to SPV).
+
+        Returns True if the best chain advanced.
+        """
+        if parent_key_hash not in self._headers:
+            raise SpvError("unknown parent key header")
+        if header.hash in self._headers:
+            return False
+        if self.require_pow and not header.meets_pow():
+            raise SpvError("key header fails proof of work")
+        self._headers[header.hash] = header
+        self._parents[header.hash] = parent_key_hash
+        self._work[header.hash] = self._work[parent_key_hash] + header.work
+        self._height[header.hash] = self._height[parent_key_hash] + 1
+        if self._work[header.hash] > self._work[self._best]:
+            self._best = header.hash
+            return True
+        return False
+
+    @property
+    def best_hash(self) -> bytes:
+        return self._best
+
+    def height(self) -> int:
+        return self._height[self._best]
+
+    def _on_best_chain(self, key_hash: bytes) -> bool:
+        cursor = self._best
+        while True:
+            if cursor == key_hash:
+                return True
+            parent = self._parents.get(cursor)
+            if parent is None:
+                return False
+            cursor = parent
+
+    def burial_depth(self, key_hash: bytes) -> int:
+        """Key blocks on the best chain above ``key_hash`` (−1 if off-chain)."""
+        if key_hash not in self._headers or not self._on_best_chain(key_hash):
+            return -1
+        return self._height[self._best] - self._height[key_hash]
+
+    # -- verification -----------------------------------------------------------
+
+    def verify(self, proof: InclusionProof, min_key_depth: int = 1) -> bool:
+        """Check an inclusion proof against the known header chain.
+
+        Verifies (1) the Merkle branch, (2) the leader signature under
+        the epoch key taken from *our* header for the named key block,
+        and (3) that the epoch is on the best chain and buried under at
+        least ``min_key_depth`` newer key blocks.
+        """
+        header = self._headers.get(proof.key_block_hash)
+        if header is None:
+            return False
+        if self.burial_depth(proof.key_block_hash) < min_key_depth:
+            return False
+        if not verify_proof(
+            proof.txid, list(proof.merkle_branch), proof.micro_header.entries_root
+        ):
+            return False
+        micro = Microblock(
+            proof.micro_header,
+            proof.micro_signature,
+            # Payload irrelevant for signature verification.
+            TxPayload(()),
+        )
+        return micro.verify_signature(header.leader_pubkey)

@@ -1,0 +1,96 @@
+"""Wire-format helpers: a byte cursor and length-prefixed fields.
+
+Blocks, headers, and payloads serialize to deterministic byte strings
+so hashes are stable and objects can round-trip through a real network
+layer.  The framing is simple little-endian with explicit length
+prefixes — close in spirit to Bitcoin's wire format without its
+var-int historical baggage.
+"""
+
+from __future__ import annotations
+
+import struct
+
+
+class DecodeError(Exception):
+    """Raised when bytes cannot be decoded into the expected structure."""
+
+
+class ByteReader:
+    """A cursor over immutable bytes with checked reads."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def take(self, count: int) -> bytes:
+        if count < 0 or self._pos + count > len(self._data):
+            raise DecodeError(
+                f"cannot take {count} bytes, {self.remaining} remain"
+            )
+        chunk = self._data[self._pos : self._pos + count]
+        self._pos += count
+        return chunk
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u16(self) -> int:
+        return struct.unpack("<H", self.take(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack("<I", self.take(4))[0]
+
+    def u64(self) -> int:
+        return struct.unpack("<Q", self.take(8))[0]
+
+    def f64(self) -> float:
+        return struct.unpack("<d", self.take(8))[0]
+
+    def bytes_u16(self) -> bytes:
+        return self.take(self.u16())
+
+    def bytes_u32(self) -> bytes:
+        return self.take(self.u32())
+
+    def expect_end(self) -> None:
+        if self.remaining:
+            raise DecodeError(f"{self.remaining} trailing bytes")
+
+
+def u8(value: int) -> bytes:
+    if not 0 <= value < 256:
+        raise DecodeError(f"u8 out of range: {value}")
+    return bytes([value])
+
+
+def u16(value: int) -> bytes:
+    return struct.pack("<H", value)
+
+
+def u32(value: int) -> bytes:
+    return struct.pack("<I", value)
+
+
+def u64(value: int) -> bytes:
+    return struct.pack("<Q", value)
+
+
+def f64(value: float) -> bytes:
+    return struct.pack("<d", value)
+
+
+def bytes_u16(data: bytes) -> bytes:
+    if len(data) > 0xFFFF:
+        raise DecodeError("field too long for u16 prefix")
+    return u16(len(data)) + data
+
+
+def bytes_u32(data: bytes) -> bytes:
+    if len(data) > 0xFFFFFFFF:
+        raise DecodeError("field too long for u32 prefix")
+    return u32(len(data)) + data

@@ -1,0 +1,74 @@
+"""Experiment harness: configurations, runner, sweeps, and reporting."""
+
+from .charts import ascii_chart, sweep_chart
+from .config import (
+    ExperimentConfig,
+    Protocol,
+    constant_throughput_block_size,
+)
+from .difficulty_dynamics import (
+    DifficultyTrace,
+    PowerDropReport,
+    PowerEvent,
+    run_power_drop,
+    simulate_difficulty_dynamics,
+)
+from .propagation import (
+    CONSTANT_LOAD_TX_RATE,
+    PROPAGATION_SIZE_POINTS,
+    PropagationPoint,
+    linear_fit,
+    propagation_samples,
+    propagation_study,
+)
+from .reporting import (
+    METRIC_COLUMNS,
+    crossover_summary,
+    format_propagation_table,
+    format_series,
+    format_sweep_table,
+)
+from .runner import ExperimentResult, build_network, run_experiment
+from .sweeps import (
+    FREQUENCY_POINTS,
+    SIZE_POINTS,
+    SweepPoint,
+    SweepResult,
+    frequency_sweep,
+    log_spaced,
+    size_sweep,
+)
+
+__all__ = [
+    "CONSTANT_LOAD_TX_RATE",
+    "FREQUENCY_POINTS",
+    "METRIC_COLUMNS",
+    "PROPAGATION_SIZE_POINTS",
+    "SIZE_POINTS",
+    "DifficultyTrace",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "PowerDropReport",
+    "PowerEvent",
+    "PropagationPoint",
+    "Protocol",
+    "run_power_drop",
+    "simulate_difficulty_dynamics",
+    "SweepPoint",
+    "SweepResult",
+    "ascii_chart",
+    "build_network",
+    "sweep_chart",
+    "constant_throughput_block_size",
+    "crossover_summary",
+    "format_propagation_table",
+    "format_series",
+    "format_sweep_table",
+    "frequency_sweep",
+    "linear_fit",
+    "log_spaced",
+    "propagation_samples",
+    "propagation_study",
+    "run_experiment",
+    "size_sweep",
+]

@@ -1,0 +1,113 @@
+"""Block propagation study: Figure 7.
+
+"We perform experiments with different block sizes while changing the
+block frequency so that the transaction-per-second load is constant.
+Figure 7 shows a linear relation between the block size and the
+propagation time, similar to the linear relation measured in the
+Bitcoin operational network by Decker and Wattenhofer."
+
+A block's propagation sample at a node is the delay between its
+generation and that node's first sight of it; per size we report the
+25/50/75th percentiles across all (block, node) samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics.collector import ObservationLog
+from .config import ExperimentConfig, Protocol
+from .runner import run_experiment
+
+# The x-axis of Figure 7.
+PROPAGATION_SIZE_POINTS = (20_000, 40_000, 60_000, 80_000, 100_000)
+
+# Constant transaction load maintained across sizes (tx/s).
+CONSTANT_LOAD_TX_RATE = 3.5
+
+
+@dataclass(frozen=True)
+class PropagationPoint:
+    """Latency percentiles for one block size."""
+
+    block_size: int
+    p25: float
+    p50: float
+    p75: float
+    samples: int
+
+
+def propagation_samples(log: ObservationLog) -> list[float]:
+    """Generation-to-arrival delays for every (block, node) pair."""
+    samples = []
+    for info in log.index.all_blocks():
+        for node in range(log.n_nodes):
+            if node == info.miner:
+                continue
+            arrival = log.arrival_time(node, info.hash)
+            if arrival is not None:
+                samples.append(arrival - info.gen_time)
+    return samples
+
+
+def _percentile(ordered: list[float], q: float) -> float:
+    if not ordered:
+        raise ValueError("no samples")
+    position = min(int(q * len(ordered)), len(ordered) - 1)
+    return ordered[position]
+
+
+def propagation_study(
+    base: ExperimentConfig | None = None,
+    sizes: tuple[int, ...] = PROPAGATION_SIZE_POINTS,
+) -> list[PropagationPoint]:
+    """Run Figure 7: propagation percentiles per block size.
+
+    The block rate is adjusted per size to hold the transaction load
+    constant, exactly as the paper describes.
+    """
+    base = base or ExperimentConfig()
+    points = []
+    for size in sizes:
+        txs_per_block = max(1, size // base.tx_size)
+        rate = CONSTANT_LOAD_TX_RATE / txs_per_block
+        config = base.with_(
+            protocol=Protocol.BITCOIN,
+            block_size_bytes=size,
+            block_rate=rate,
+        )
+        _, log = run_experiment(config)
+        ordered = sorted(propagation_samples(log))
+        points.append(
+            PropagationPoint(
+                block_size=size,
+                p25=_percentile(ordered, 0.25),
+                p50=_percentile(ordered, 0.50),
+                p75=_percentile(ordered, 0.75),
+                samples=len(ordered),
+            )
+        )
+    return points
+
+
+def linear_fit(points: list[PropagationPoint]) -> tuple[float, float, float]:
+    """Least-squares fit of median latency vs size: (slope, intercept, R²).
+
+    The paper's claim is qualitative linearity; the benchmark asserts a
+    high coefficient of determination.
+    """
+    if len(points) < 2:
+        raise ValueError("need at least two points")
+    xs = [float(p.block_size) for p in points]
+    ys = [p.p50 for p in points]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    ss_xy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    ss_xx = sum((x - mean_x) ** 2 for x in xs)
+    slope = ss_xy / ss_xx
+    intercept = mean_y - slope * mean_x
+    ss_res = sum((y - (intercept + slope * x)) ** 2 for x, y in zip(xs, ys))
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return slope, intercept, r_squared

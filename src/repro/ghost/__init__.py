@@ -1,0 +1,18 @@
+"""GHOST baseline: heaviest-subtree fork choice (Sompolinsky & Zohar)."""
+
+from .ambiguity import (
+    AppendixAScenario,
+    build_appendix_a,
+    no_view_matches_global,
+)
+from .chain import GhostRecord, GhostTree
+from .node import GhostNode
+
+__all__ = [
+    "AppendixAScenario",
+    "GhostNode",
+    "GhostRecord",
+    "GhostTree",
+    "build_appendix_a",
+    "no_view_matches_global",
+]

@@ -1,0 +1,56 @@
+"""Ledger substrate: UTXO transactions, validation, and the mempool."""
+
+from .errors import (
+    BadSignature,
+    DoubleSpend,
+    ImmatureSpend,
+    LedgerError,
+    MalformedTransaction,
+    MempoolError,
+    MissingInput,
+    ValueError_,
+)
+from .mempool import Mempool
+from .transactions import (
+    COIN,
+    MAX_MONEY,
+    OutPoint,
+    Transaction,
+    TxInput,
+    TxOutput,
+    make_coinbase,
+)
+from .utxo import DEFAULT_COINBASE_MATURITY, Coin, UndoRecord, UtxoSet
+from .validation import (
+    check_transaction,
+    compute_fee,
+    validate_spend,
+    verify_input_signatures,
+)
+
+__all__ = [
+    "COIN",
+    "DEFAULT_COINBASE_MATURITY",
+    "MAX_MONEY",
+    "BadSignature",
+    "Coin",
+    "DoubleSpend",
+    "ImmatureSpend",
+    "LedgerError",
+    "MalformedTransaction",
+    "Mempool",
+    "MempoolError",
+    "MissingInput",
+    "OutPoint",
+    "Transaction",
+    "TxInput",
+    "TxOutput",
+    "UndoRecord",
+    "UtxoSet",
+    "ValueError_",
+    "check_transaction",
+    "compute_fee",
+    "make_coinbase",
+    "validate_spend",
+    "verify_input_signatures",
+]

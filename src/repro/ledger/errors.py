@@ -1,0 +1,39 @@
+"""Exception hierarchy for ledger validation.
+
+Every rejection reason gets its own class so tests and callers can assert
+on *why* a transaction or block was refused, not just that it was.
+"""
+
+from __future__ import annotations
+
+
+class LedgerError(Exception):
+    """Base class for all ledger validation failures."""
+
+
+class MalformedTransaction(LedgerError):
+    """Structurally invalid: bad sizes, empty inputs/outputs, etc."""
+
+
+class MissingInput(LedgerError):
+    """An input references an output that is not in the UTXO set."""
+
+
+class DoubleSpend(LedgerError):
+    """Two transactions spend the same output."""
+
+
+class BadSignature(LedgerError):
+    """An input's signature or ownership proof does not verify."""
+
+
+class ValueError_(LedgerError):
+    """Outputs exceed inputs, or a value is negative/overflows."""
+
+
+class ImmatureSpend(LedgerError):
+    """A coinbase output was spent before the maturity period elapsed."""
+
+
+class MempoolError(LedgerError):
+    """A transaction was rejected by mempool policy (full, duplicate...)."""

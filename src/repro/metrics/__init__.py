@@ -1,0 +1,50 @@
+"""The paper's evaluation metrics (Section 6) over observation logs."""
+
+from .collector import BlockIndex, BlockInfo, ObservationLog, TipHistory
+from .consensus_delay import consensus_delay, point_consensus_delay
+from .export import (
+    TraceFormatError,
+    load_trace,
+    log_from_dict,
+    log_to_dict,
+    save_trace,
+)
+from .fairness import fairness
+from .prune import (
+    prune_samples,
+    time_to_prune,
+    time_to_win,
+    win_samples,
+)
+from .throughput import (
+    OPERATIONAL_BITCOIN_TX_RATE,
+    block_rate,
+    goodput_bytes,
+    transaction_frequency,
+)
+from .utilization import mining_power_utilization, wasted_work_fraction
+
+__all__ = [
+    "OPERATIONAL_BITCOIN_TX_RATE",
+    "BlockIndex",
+    "BlockInfo",
+    "ObservationLog",
+    "TipHistory",
+    "TraceFormatError",
+    "block_rate",
+    "load_trace",
+    "log_from_dict",
+    "log_to_dict",
+    "save_trace",
+    "consensus_delay",
+    "fairness",
+    "goodput_bytes",
+    "mining_power_utilization",
+    "point_consensus_delay",
+    "prune_samples",
+    "time_to_prune",
+    "time_to_win",
+    "transaction_frequency",
+    "wasted_work_fraction",
+    "win_samples",
+]

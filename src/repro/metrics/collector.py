@@ -1,0 +1,190 @@
+"""Observation infrastructure for the paper's metrics (Section 6).
+
+Every experiment wires one :class:`ObservationLog` into all protocol
+nodes.  Nodes report three kinds of events:
+
+* **generation** — a block was created (globally unique per block);
+* **arrival** — a node first learned of a block;
+* **tip change** — a node's main-chain tip moved.
+
+The metric calculators in the sibling modules are pure functions over
+this log, so the same infrastructure serves Bitcoin, GHOST, and
+Bitcoin-NG without protocol-specific code.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class BlockInfo:
+    """Global facts about one generated block."""
+
+    hash: bytes
+    parent: bytes
+    miner: int
+    gen_time: float
+    work: int
+    kind: str  # "block" (Bitcoin/GHOST), "key", or "micro" (Bitcoin-NG)
+    n_tx: int
+    size: int
+
+
+class BlockIndex:
+    """Registry of every block generated during an execution."""
+
+    def __init__(self) -> None:
+        self._infos: dict[bytes, BlockInfo] = {}
+        self._heights: dict[bytes, int] = {}
+        self._cum_work: dict[bytes, int] = {}
+        self._chain_cache: dict[bytes, tuple[bytes, ...]] = {}
+
+    def __contains__(self, block_hash: bytes) -> bool:
+        return block_hash in self._infos
+
+    def __len__(self) -> int:
+        return len(self._infos)
+
+    def add(self, info: BlockInfo) -> None:
+        if info.hash in self._infos:
+            raise ValueError("duplicate block generation recorded")
+        self._infos[info.hash] = info
+        if info.parent in self._heights:
+            self._heights[info.hash] = self._heights[info.parent] + 1
+            self._cum_work[info.hash] = self._cum_work[info.parent] + info.work
+        else:
+            # A root (genesis or the first block recorded).
+            self._heights[info.hash] = 0
+            self._cum_work[info.hash] = info.work
+
+    def info(self, block_hash: bytes) -> BlockInfo:
+        return self._infos[block_hash]
+
+    def get(self, block_hash: bytes) -> BlockInfo | None:
+        return self._infos.get(block_hash)
+
+    def height(self, block_hash: bytes) -> int:
+        return self._heights[block_hash]
+
+    def cumulative_work(self, block_hash: bytes) -> int:
+        """Work up to a block; 0 for unrecorded roots (the genesis)."""
+        return self._cum_work.get(block_hash, 0)
+
+    def all_blocks(self) -> list[BlockInfo]:
+        return list(self._infos.values())
+
+    def chain(self, tip: bytes) -> tuple[bytes, ...]:
+        """Ancestor chain ending at ``tip`` (inclusive), memoized.
+
+        Only blocks present in the index appear; the recorded root of
+        the execution is the first element.
+        """
+        cached = self._chain_cache.get(tip)
+        if cached is not None:
+            return cached
+        path: list[bytes] = []
+        cursor: bytes | None = tip
+        while cursor is not None and cursor in self._infos:
+            cached = self._chain_cache.get(cursor)
+            if cached is not None:
+                path.reverse()
+                full = cached + tuple(path)
+                self._chain_cache[tip] = full
+                return full
+            path.append(cursor)
+            cursor = self._infos[cursor].parent
+        path.reverse()
+        full = tuple(path)
+        self._chain_cache[tip] = full
+        return full
+
+    def is_ancestor(self, ancestor: bytes, descendant: bytes) -> bool:
+        """True if ``ancestor`` lies on the chain ending at ``descendant``."""
+        if ancestor == descendant:
+            return True
+        target_height = self._heights.get(ancestor)
+        if target_height is None:
+            return False
+        cursor = descendant
+        while cursor in self._infos and self._heights[cursor] > target_height:
+            cursor = self._infos[cursor].parent
+        return cursor == ancestor
+
+
+@dataclass
+class TipHistory:
+    """One node's tip over time, queryable at any instant."""
+
+    times: list[float] = field(default_factory=list)
+    tips: list[bytes] = field(default_factory=list)
+
+    def record(self, time: float, tip: bytes) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError("tip history must be recorded in time order")
+        self.times.append(time)
+        self.tips.append(tip)
+
+    def tip_at(self, time: float) -> bytes | None:
+        """The tip in force at ``time`` (None before the first record)."""
+        index = bisect.bisect_right(self.times, time) - 1
+        if index < 0:
+            return None
+        return self.tips[index]
+
+
+class ObservationLog:
+    """All events of one execution, shared by every node."""
+
+    def __init__(self, n_nodes: int) -> None:
+        self.n_nodes = n_nodes
+        self.index = BlockIndex()
+        self.arrivals: list[dict[bytes, float]] = [{} for _ in range(n_nodes)]
+        self.tip_histories: list[TipHistory] = [TipHistory() for _ in range(n_nodes)]
+        self.start_time = 0.0
+        self.end_time = 0.0
+
+    def record_generation(self, info: BlockInfo) -> None:
+        self.index.add(info)
+        # The generating node knows its block immediately; its arrival is
+        # recorded by the node itself via record_arrival.
+
+    def record_arrival(self, node: int, block_hash: bytes, time: float) -> None:
+        """First time ``node`` learned of ``block_hash``; later calls ignored."""
+        self.arrivals[node].setdefault(block_hash, time)
+
+    def record_tip(self, node: int, tip: bytes, time: float) -> None:
+        self.tip_histories[node].record(time, tip)
+
+    def arrival_time(self, node: int, block_hash: bytes) -> float | None:
+        return self.arrivals[node].get(block_hash)
+
+    def finalize(self, end_time: float) -> None:
+        """Mark the end of the observation window."""
+        self.end_time = end_time
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    def final_consensus_tip(self) -> bytes:
+        """The tip most nodes hold at the end — "the" main chain.
+
+        Ties broken by cumulative work then hash, deterministically.
+        """
+        votes: dict[bytes, int] = {}
+        for history in self.tip_histories:
+            tip = history.tip_at(self.end_time)
+            if tip is not None:
+                votes[tip] = votes.get(tip, 0) + 1
+        if not votes:
+            raise ValueError("no tips recorded")
+        return max(
+            votes,
+            key=lambda h: (votes[h], self.index.cumulative_work(h), h),
+        )
+
+    def main_chain(self) -> tuple[bytes, ...]:
+        """The final consensus chain (see :meth:`final_consensus_tip`)."""
+        return self.index.chain(self.final_consensus_tip())

@@ -1,0 +1,109 @@
+"""Difficulty retargeting and mining-power-variation dynamics.
+
+Section 5.2 ("Resilience to Mining Power Variation") compares adjustment
+schedules — Bitcoin every 2016 blocks, Litecoin every 2016 (faster
+blocks), Ethereum every block — and argues all are sensitive to sudden
+mining power drops, while Bitcoin-NG keeps serializing transactions in
+microblocks regardless.  This module implements the retargeting
+algorithms and a small analytical model of recovery time after a power
+drop, used by the resilience benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.pow import check_target, scale_target
+
+# Bitcoin's retarget window and spacing.
+BITCOIN_RETARGET_WINDOW = 2016
+BITCOIN_BLOCK_SPACING = 600.0
+
+
+@dataclass
+class EpochRetargeter:
+    """Bitcoin/Litecoin-style retargeting every ``window`` blocks.
+
+    Adjusts the target so the last window would have taken
+    ``window * spacing`` seconds, clamped to 4x per adjustment.
+    """
+
+    spacing: float = BITCOIN_BLOCK_SPACING
+    window: int = BITCOIN_RETARGET_WINDOW
+    clamp: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.spacing <= 0 or self.window < 1:
+            raise ValueError("spacing and window must be positive")
+
+    def retarget(self, target: int, window_duration: float) -> int:
+        """New target given the observed duration of the last window."""
+        check_target(target)
+        if window_duration <= 0:
+            raise ValueError("window duration must be positive")
+        expected = self.spacing * self.window
+        return scale_target(target, window_duration / expected, self.clamp)
+
+    def should_retarget(self, height: int) -> bool:
+        """True at heights where an adjustment happens (Bitcoin rule)."""
+        return height > 0 and height % self.window == 0
+
+
+@dataclass
+class PerBlockRetargeter:
+    """Ethereum-style smooth per-block adjustment.
+
+    Nudges the target by ``step`` (default 1/2048, Ethereum's Homestead
+    constant) toward the desired spacing based on the last interval.
+    """
+
+    spacing: float = 12.0
+    step: float = 1.0 / 2048.0
+
+    def retarget(self, target: int, last_interval: float) -> int:
+        check_target(target)
+        if last_interval <= 0:
+            raise ValueError("interval must be positive")
+        if last_interval < self.spacing:
+            factor = 1.0 - self.step
+        else:
+            factor = 1.0 + self.step * min(
+                (last_interval / self.spacing), 99.0
+            )
+        return scale_target(target, factor, clamp=2.0)
+
+
+def expected_block_interval(
+    difficulty_rate: float, power_fraction_remaining: float
+) -> float:
+    """Expected interval after a power drop, before retargeting reacts.
+
+    With block rate tuned to ``difficulty_rate`` under full power, losing
+    power stretches the interval by its reciprocal: half the miners leave
+    → blocks take twice as long.  The paper's point is that this stall
+    can last "potentially orders of magnitude longer" for alt-coins.
+    """
+    if difficulty_rate <= 0:
+        raise ValueError("rate must be positive")
+    if not 0 < power_fraction_remaining <= 1:
+        raise ValueError("remaining power fraction must be in (0, 1]")
+    return (1.0 / difficulty_rate) / power_fraction_remaining
+
+
+def recovery_blocks(window: int, clamp: float, power_fraction_remaining: float) -> int:
+    """Blocks needed until retargeting restores the intended interval.
+
+    Each epoch the difficulty can fall by at most ``clamp``x, so after a
+    drop to fraction f the retargeter needs ceil(log_clamp(1/f)) epochs;
+    each of those epochs is ``window`` blocks mined at depressed speed.
+    """
+    import math
+
+    if not 0 < power_fraction_remaining <= 1:
+        raise ValueError("remaining power fraction must be in (0, 1]")
+    if clamp <= 1:
+        raise ValueError("clamp must exceed 1")
+    epochs = math.ceil(
+        math.log(1.0 / power_fraction_remaining) / math.log(clamp)
+    ) if power_fraction_remaining < 1 else 0
+    return epochs * window

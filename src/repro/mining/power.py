@@ -1,0 +1,81 @@
+"""Mining power distributions.
+
+Section 7: "To model the size distribution of mining entities, we
+approximate it with an exponential distribution with an exponent of
+−0.27. It yields a 0.99 coefficient of determination compared with the
+medians of each rank."  This module generates that distribution and
+provides the fitting machinery used to verify synthetic pool data
+against it.
+"""
+
+from __future__ import annotations
+
+import math
+
+# The paper's fitted exponent for pool size by rank.
+PAPER_EXPONENT = -0.27
+
+
+def exponential_shares(n_miners: int, exponent: float = PAPER_EXPONENT) -> list[float]:
+    """Power share per rank: share(r) ∝ exp(exponent · r), normalized.
+
+    Rank 1 is the largest miner.  With the paper's exponent and 20
+    ranks, the largest miner holds just under a quarter of the power —
+    consistent with the paper's threat model boundary.
+    """
+    if n_miners < 1:
+        raise ValueError("need at least one miner")
+    raw = [math.exp(exponent * rank) for rank in range(1, n_miners + 1)]
+    total = sum(raw)
+    return [value / total for value in raw]
+
+
+def uniform_shares(n_miners: int) -> list[float]:
+    """Equal power for every miner — the idealized decentralized case."""
+    if n_miners < 1:
+        raise ValueError("need at least one miner")
+    return [1.0 / n_miners] * n_miners
+
+
+def single_large_miner(n_miners: int, large_share: float) -> list[float]:
+    """One miner with ``large_share``, the rest equal — attack scenarios."""
+    if not 0 < large_share < 1:
+        raise ValueError("large_share must be in (0, 1)")
+    if n_miners < 2:
+        raise ValueError("need at least two miners")
+    rest = (1.0 - large_share) / (n_miners - 1)
+    return [large_share] + [rest] * (n_miners - 1)
+
+
+def fit_exponential(shares_by_rank: list[float]) -> tuple[float, float]:
+    """Least-squares fit of log(share) against rank.
+
+    Returns (exponent, r_squared).  Used to validate that synthetic pool
+    data reproduces the paper's (−0.27, 0.99) fit.
+    """
+    if len(shares_by_rank) < 2:
+        raise ValueError("need at least two ranks to fit")
+    if any(share <= 0 for share in shares_by_rank):
+        raise ValueError("shares must be positive to fit in log space")
+    ranks = list(range(1, len(shares_by_rank) + 1))
+    logs = [math.log(share) for share in shares_by_rank]
+    n = len(ranks)
+    mean_x = sum(ranks) / n
+    mean_y = sum(logs) / n
+    ss_xy = sum((x - mean_x) * (y - mean_y) for x, y in zip(ranks, logs))
+    ss_xx = sum((x - mean_x) ** 2 for x in ranks)
+    slope = ss_xy / ss_xx
+    intercept = mean_y - slope * mean_x
+    ss_res = sum(
+        (y - (intercept + slope * x)) ** 2 for x, y in zip(ranks, logs)
+    )
+    ss_tot = sum((y - mean_y) ** 2 for y in logs)
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return slope, r_squared
+
+
+def largest_share(shares: list[float]) -> float:
+    """The largest miner's fraction — the fairness denominator input."""
+    if not shares:
+        raise ValueError("empty share list")
+    return max(shares)

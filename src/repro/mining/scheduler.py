@@ -1,0 +1,118 @@
+"""Simulated mining: the paper's exponential block-generation oracle.
+
+Section 7: "we replace the proof of work mechanism with a scheduler that
+triggers block generation at different miners with exponentially
+distributed intervals", the winner being chosen in proportion to mining
+power.  Sampling one global exponential inter-arrival time and then a
+power-weighted winner is statistically identical to independent
+per-miner exponential clocks (superposition of Poisson processes) and
+costs O(1) events per block.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+from typing import Callable
+
+from ..net.events import Event
+from ..net.simulator import Simulator
+
+# Callback invoked when a miner wins a block: receives the miner index.
+WinnerCallback = Callable[[int], None]
+
+
+class MiningScheduler:
+    """Triggers block generation events with exponential intervals."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        powers: list[float],
+        block_rate: float,
+        on_block: WinnerCallback,
+    ) -> None:
+        if not powers:
+            raise ValueError("no miners")
+        if any(power < 0 for power in powers):
+            raise ValueError("negative mining power")
+        if sum(powers) <= 0:
+            raise ValueError("total mining power must be positive")
+        if block_rate <= 0:
+            raise ValueError("block rate must be positive")
+        self.sim = sim
+        self.on_block = on_block
+        self._block_rate = block_rate
+        self._powers = list(powers)
+        self._rebuild_cumulative()
+        self._pending: Event | None = None
+        self._running = False
+        self.blocks_triggered = 0
+        self.wins_by_miner = [0] * len(powers)
+
+    def _rebuild_cumulative(self) -> None:
+        self._cumulative = list(itertools.accumulate(self._powers))
+        self._total_power = self._cumulative[-1]
+
+    @property
+    def block_rate(self) -> float:
+        return self._block_rate
+
+    def set_block_rate(self, rate: float) -> None:
+        """Change the global block rate (difficulty adjustment analogue)."""
+        if rate <= 0:
+            raise ValueError("block rate must be positive")
+        self._block_rate = rate
+        if self._running:
+            self._reschedule()
+
+    def set_power(self, miner: int, power: float) -> None:
+        """Change one miner's power (mining power variation studies)."""
+        if power < 0:
+            raise ValueError("negative mining power")
+        self._powers[miner] = power
+        self._rebuild_cumulative()
+        if self._total_power <= 0:
+            raise ValueError("total mining power must stay positive")
+
+    def power_share(self, miner: int) -> float:
+        return self._powers[miner] / self._total_power
+
+    def start(self) -> None:
+        """Begin triggering block events."""
+        if self._running:
+            return
+        self._running = True
+        self._reschedule()
+
+    def stop(self) -> None:
+        """Stop triggering events (pending event is cancelled)."""
+        self._running = False
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    def _reschedule(self) -> None:
+        if self._pending is not None:
+            self._pending.cancel()
+        delay = self.sim.exponential(self._block_rate)
+        self._pending = self.sim.schedule(delay, self._fire)
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self._pending = None
+        winner = self._pick_winner()
+        self.blocks_triggered += 1
+        self.wins_by_miner[winner] += 1
+        # Reschedule before the callback so a callback that stops the
+        # scheduler (end of experiment) cancels cleanly.
+        self._reschedule()
+        self.on_block(winner)
+
+    def _pick_winner(self) -> int:
+        """Power-weighted random miner selection."""
+        pick = self.sim.rng.uniform(0.0, self._total_power)
+        return min(
+            bisect.bisect_right(self._cumulative, pick), len(self._powers) - 1
+        )

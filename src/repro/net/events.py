@@ -1,0 +1,61 @@
+"""Deterministic discrete-event queue.
+
+Events fire in (time, sequence) order; the sequence number makes
+simultaneous events deterministic, so a seeded simulation always replays
+identically — a property every experiment and test in this repository
+relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback; comparison ignores the callback itself."""
+
+    time: float
+    sequence: int
+    callback: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue drops it instead of firing it."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A min-heap of :class:`Event` objects with stable ordering."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._sequence = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` at absolute ``time``."""
+        if time < 0:
+            raise ValueError(f"cannot schedule event at negative time {time}")
+        event = Event(time, self._sequence, callback)
+        self._sequence += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event | None:
+        """Remove and return the next live event, or None when empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Time of the next live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None

@@ -1,0 +1,216 @@
+"""Object relay over the peer-to-peer network.
+
+Bitcoin relays blocks with an announce/request/deliver handshake
+(``inv`` → ``getdata`` → object), which avoids sending large objects to
+peers that already have them.  :class:`GossipNode` implements that
+protocol as a reusable base class; protocol nodes subclass it and get
+epidemic dissemination with de-duplication for free.
+
+Two relay modes are provided for the ablation DESIGN.md calls out:
+
+* ``RelayMode.INV`` — the Bitcoin handshake (default).
+* ``RelayMode.FLOOD`` — push full objects immediately; lower latency,
+  higher bandwidth, as used by fast-relay networks [Corallo 2013].
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from .network import Message, Network
+from .simulator import Simulator
+
+# Wire sizes for control messages, matching Bitcoin's protocol framing:
+# an inv/getdata with one entry is 24 byte header + 37 byte payload.
+INV_SIZE = 61
+GETDATA_SIZE = 61
+
+
+class RelayMode(enum.Enum):
+    """How newly learned objects are pushed to peers."""
+
+    INV = "inv"
+    FLOOD = "flood"
+
+
+@dataclass(frozen=True)
+class StoredObject:
+    """An object held in a node's relay store."""
+
+    obj_id: bytes
+    kind: str
+    data: Any
+    size: int
+
+
+class GossipNode:
+    """Base class providing de-duplicated epidemic relay.
+
+    Subclasses implement :meth:`deliver`, called exactly once per new
+    object, and may call :meth:`announce` to inject locally created
+    objects (e.g. a freshly mined block) into the gossip layer.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        network: Network,
+        relay_mode: RelayMode = RelayMode.INV,
+        verification_delay: float = 0.0,
+        verification_seconds_per_byte: float = 0.0,
+    ) -> None:
+        self.node_id = node_id
+        self.sim = sim
+        self.network = network
+        self.relay_mode = relay_mode
+        # Per-object processing cost before relaying (block verification);
+        # the paper notes large blocks "take longer to verify and propagate",
+        # so the delay has a fixed part and a size-proportional part.
+        self.verification_delay = verification_delay
+        self.verification_seconds_per_byte = verification_seconds_per_byte
+        self._store: dict[bytes, StoredObject] = {}
+        self._requested: set[bytes] = set()
+        self._rejected: set[bytes] = set()
+        # DoS protection: peers accumulate misbehavior points for
+        # invalid objects; at the threshold their traffic is ignored,
+        # mirroring Bitcoin Core's ban score.
+        self.misbehavior: dict[int, int] = {}
+        self.ban_threshold = 100
+        self.invalid_object_penalty = 20
+        network.attach(node_id, self)
+
+    # -- subclass interface -------------------------------------------------
+
+    def deliver(self, obj: StoredObject, sender: int | None):
+        """Handle a newly learned object; ``sender`` is None if local.
+
+        Return ``False`` to veto relay: the object is dropped from the
+        store, remembered as rejected (so repeated invs are ignored),
+        and not forwarded — the behaviour of a real client that fails
+        block validation.  Any other return value relays normally.
+        """
+        raise NotImplementedError
+
+    # -- public operations --------------------------------------------------
+
+    def knows(self, obj_id: bytes) -> bool:
+        return obj_id in self._store
+
+    def get_object(self, obj_id: bytes) -> StoredObject | None:
+        return self._store.get(obj_id)
+
+    def request_object(self, peer: int, obj_id: bytes) -> None:
+        """Explicitly fetch an object from a peer (ancestor backfill).
+
+        Used by nodes that receive an orphan block: asking the sender
+        for the missing parent recursively heals gaps after churn or
+        partitions, Bitcoin's headers-first sync in miniature.  Unlike
+        inv handling, an explicit request re-sends even if a previous
+        attempt is outstanding — the earlier response may have been
+        lost to churn.
+        """
+        if obj_id in self._store:
+            return
+        self._requested.add(obj_id)
+        self.network.send(
+            self.node_id, peer, Message("getdata", obj_id, GETDATA_SIZE)
+        )
+
+    def announce(self, obj_id: bytes, kind: str, data: Any, size: int) -> None:
+        """Inject a locally created object and start relaying it."""
+        if obj_id in self._store:
+            return
+        stored = StoredObject(obj_id, kind, data, size)
+        self._store[obj_id] = stored
+        self.deliver(stored, sender=None)
+        self._relay(stored, exclude=None)
+
+    # -- network plumbing ---------------------------------------------------
+
+    def penalize(self, peer: int, points: int) -> None:
+        """Charge a peer misbehavior points; at the threshold, ban it."""
+        self.misbehavior[peer] = self.misbehavior.get(peer, 0) + points
+
+    def is_banned(self, peer: int) -> bool:
+        return self.misbehavior.get(peer, 0) >= self.ban_threshold
+
+    def on_message(self, sender: int, message: Message) -> None:
+        if self.is_banned(sender):
+            return
+        if message.kind == "inv":
+            self._on_inv(sender, message.payload)
+        elif message.kind == "getdata":
+            self._on_getdata(sender, message.payload)
+        elif message.kind == "object":
+            self._on_object(sender, message.payload)
+        else:
+            self.handle_protocol_message(sender, message)
+
+    def handle_protocol_message(self, sender: int, message: Message) -> None:
+        """Hook for subclasses with extra message kinds; default drops."""
+
+    def _relay(self, stored: StoredObject, exclude: int | None) -> None:
+        for peer in self.network.neighbors(self.node_id):
+            if peer == exclude:
+                continue
+            if self.relay_mode is RelayMode.FLOOD:
+                self.network.send(
+                    self.node_id,
+                    peer,
+                    Message("object", stored, stored.size),
+                )
+            else:
+                self.network.send(
+                    self.node_id,
+                    peer,
+                    Message("inv", (stored.obj_id, stored.kind), INV_SIZE),
+                )
+
+    def _on_inv(self, sender: int, payload: tuple[bytes, str]) -> None:
+        obj_id, _kind = payload
+        if (
+            obj_id in self._store
+            or obj_id in self._requested
+            or obj_id in self._rejected
+        ):
+            return
+        self._requested.add(obj_id)
+        self.network.send(
+            self.node_id, sender, Message("getdata", obj_id, GETDATA_SIZE)
+        )
+
+    def _on_getdata(self, sender: int, obj_id: bytes) -> None:
+        stored = self._store.get(obj_id)
+        if stored is None:
+            return
+        self.network.send(
+            self.node_id, sender, Message("object", stored, stored.size)
+        )
+
+    def _on_object(self, sender: int, stored: StoredObject) -> None:
+        self._requested.discard(stored.obj_id)
+        if stored.obj_id in self._store:
+            return
+        self._store[stored.obj_id] = stored
+        delay = (
+            self.verification_delay
+            + self.verification_seconds_per_byte * stored.size
+        )
+        if delay > 0:
+            self.sim.schedule(delay, lambda: self._accept(stored, sender))
+        else:
+            self._accept(stored, sender)
+
+    def _accept(self, stored: StoredObject, sender: int) -> None:
+        verdict = self.deliver(stored, sender)
+        if verdict is False:
+            # Validation failed: forget it, never forward it, and
+            # charge the peer that sent it.
+            self._store.pop(stored.obj_id, None)
+            self._rejected.add(stored.obj_id)
+            self.penalize(sender, self.invalid_object_penalty)
+            return
+        self._relay(stored, exclude=sender)

@@ -1,0 +1,137 @@
+"""The simulated network: nodes, links, and message delivery.
+
+Ties a :class:`~repro.net.topology.Topology` to per-direction
+:class:`~repro.net.links.Link` objects whose latencies are drawn from a
+:class:`~repro.net.latency.LatencyHistogram`, exactly as the paper's
+testbed assigned pairwise latencies.  Supports churn (nodes going
+offline and returning) and link partitions for robustness experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Protocol
+
+from .latency import LatencyHistogram
+from .links import DEFAULT_BANDWIDTH_BPS, Link
+from .simulator import Simulator
+from .topology import Topology
+
+
+@dataclass(frozen=True)
+class Message:
+    """A protocol message: a kind tag, opaque payload, and wire size."""
+
+    kind: str
+    payload: Any
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError("message size cannot be negative")
+
+
+class MessageHandler(Protocol):
+    """Anything that can receive messages from the network."""
+
+    def on_message(self, sender: int, message: Message) -> None: ...
+
+
+class Network:
+    """Delivers messages between attached nodes over simulated links."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        latency_histogram: LatencyHistogram,
+        bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+        latency_rng: random.Random | None = None,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self._adjacency = topology.neighbor_map()
+        self._handlers: dict[int, MessageHandler] = {}
+        self._offline: set[int] = set()
+        self._blocked: set[frozenset[int]] = set()
+        self._links: dict[tuple[int, int], Link] = {}
+        self.messages_delivered = 0
+        self.bytes_delivered = 0
+        rng = latency_rng or sim.rng
+        for edge in topology.edges:
+            a, b = sorted(edge)
+            # One latency per pair (symmetric), independent queues per
+            # direction — matching how pairwise latency was assigned.
+            latency = latency_histogram.sample(rng)
+            self._links[(a, b)] = Link(latency, bandwidth_bps)
+            self._links[(b, a)] = Link(latency, bandwidth_bps)
+
+    def attach(self, node_id: int, handler: MessageHandler) -> None:
+        """Register the protocol node living at ``node_id``."""
+        if not 0 <= node_id < self.topology.n_nodes:
+            raise ValueError(f"unknown node id {node_id}")
+        self._handlers[node_id] = handler
+
+    def neighbors(self, node_id: int) -> list[int]:
+        return self._adjacency[node_id]
+
+    def link(self, src: int, dst: int) -> Link:
+        """The directed link src→dst; raises KeyError if not adjacent."""
+        return self._links[(src, dst)]
+
+    def is_online(self, node_id: int) -> bool:
+        return node_id not in self._offline
+
+    def set_offline(self, node_id: int, offline: bool = True) -> None:
+        """Take a node off the network (churn) or bring it back."""
+        if offline:
+            self._offline.add(node_id)
+        else:
+            self._offline.discard(node_id)
+
+    def block_link(self, a: int, b: int) -> None:
+        """Drop all traffic between two adjacent nodes (partitioning)."""
+        self._blocked.add(frozenset((a, b)))
+
+    def unblock_link(self, a: int, b: int) -> None:
+        self._blocked.discard(frozenset((a, b)))
+
+    def link_blocked(self, a: int, b: int) -> bool:
+        return frozenset((a, b)) in self._blocked
+
+    def send(self, src: int, dst: int, message: Message) -> None:
+        """Queue ``message`` on the src→dst link; silently dropped if
+        either endpoint is offline or the link is blocked (the sender
+        cannot know)."""
+        if src in self._offline or dst in self._offline:
+            return
+        if frozenset((src, dst)) in self._blocked:
+            return
+        link = self._links.get((src, dst))
+        if link is None:
+            raise ValueError(f"nodes {src} and {dst} are not adjacent")
+        arrival = link.transfer(self.sim.now, message.size)
+        self.sim.schedule_at(arrival, lambda: self._deliver(src, dst, message))
+
+    def broadcast(self, src: int, message: Message) -> None:
+        """Send to every neighbor of ``src``."""
+        for peer in self._adjacency[src]:
+            self.send(src, peer, message)
+
+    def _deliver(self, src: int, dst: int, message: Message) -> None:
+        if dst in self._offline:
+            return
+        handler = self._handlers.get(dst)
+        if handler is None:
+            return
+        self.messages_delivered += 1
+        self.bytes_delivered += message.size
+        handler.on_message(src, message)
+
+    def total_bytes_queued(self) -> int:
+        """Bytes ever booked onto links (sent, not necessarily delivered)."""
+        seen = 0
+        for link in self._links.values():
+            seen += link.bytes_sent
+        return seen

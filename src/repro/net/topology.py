@@ -1,0 +1,132 @@
+"""Random peer-to-peer topologies.
+
+"Lacking an existing model of the system, we construct a random network
+by connecting each node to at least 5 other nodes, chosen uniformly at
+random" (Section 7).  :func:`random_topology` reproduces exactly that
+construction and retries until the graph is connected (it almost always
+is at degree >= 5).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Topology:
+    """An undirected graph over node ids ``0..n_nodes-1``."""
+
+    n_nodes: int
+    edges: set[frozenset[int]] = field(default_factory=set)
+
+    def add_edge(self, a: int, b: int) -> None:
+        if a == b:
+            raise ValueError("self loops are not allowed")
+        if not (0 <= a < self.n_nodes and 0 <= b < self.n_nodes):
+            raise ValueError(f"edge ({a}, {b}) references unknown node")
+        self.edges.add(frozenset((a, b)))
+
+    def neighbors(self, node: int) -> list[int]:
+        """Sorted neighbor list (sorted for determinism)."""
+        found = []
+        for edge in self.edges:
+            if node in edge:
+                (other,) = edge - {node}
+                found.append(other)
+        return sorted(found)
+
+    def neighbor_map(self) -> dict[int, list[int]]:
+        """Precomputed adjacency lists for the whole graph."""
+        adjacency: dict[int, list[int]] = {i: [] for i in range(self.n_nodes)}
+        for edge in self.edges:
+            a, b = sorted(edge)
+            adjacency[a].append(b)
+            adjacency[b].append(a)
+        for peers in adjacency.values():
+            peers.sort()
+        return adjacency
+
+    def degree(self, node: int) -> int:
+        return sum(1 for edge in self.edges if node in edge)
+
+    def is_connected(self) -> bool:
+        """BFS reachability from node 0."""
+        if self.n_nodes == 0:
+            return True
+        adjacency = self.neighbor_map()
+        seen = {0}
+        frontier = deque([0])
+        while frontier:
+            node = frontier.popleft()
+            for peer in adjacency[node]:
+                if peer not in seen:
+                    seen.add(peer)
+                    frontier.append(peer)
+        return len(seen) == self.n_nodes
+
+    def diameter_bound(self) -> int:
+        """Eccentricity of node 0 — a cheap lower bound on the diameter."""
+        adjacency = self.neighbor_map()
+        depth = {0: 0}
+        frontier = deque([0])
+        while frontier:
+            node = frontier.popleft()
+            for peer in adjacency[node]:
+                if peer not in depth:
+                    depth[peer] = depth[node] + 1
+                    frontier.append(peer)
+        return max(depth.values()) if depth else 0
+
+
+def random_topology(
+    n_nodes: int,
+    min_degree: int = 5,
+    rng: random.Random | None = None,
+    max_attempts: int = 100,
+) -> Topology:
+    """Build the paper's random graph: each node picks >= ``min_degree`` peers.
+
+    Each node draws ``min_degree`` distinct peers uniformly at random (so
+    final degrees exceed the minimum, as in the real Bitcoin network
+    where inbound connections raise degree).  Retries until connected.
+    """
+    if n_nodes < 2:
+        raise ValueError("need at least two nodes")
+    if min_degree >= n_nodes:
+        raise ValueError("min_degree must be below node count")
+    rng = rng or random.Random(0)
+    for _ in range(max_attempts):
+        topo = Topology(n_nodes)
+        population = list(range(n_nodes))
+        for node in range(n_nodes):
+            others = [peer for peer in population if peer != node]
+            for peer in rng.sample(others, min_degree):
+                topo.add_edge(node, peer)
+        if topo.is_connected():
+            return topo
+    raise RuntimeError(
+        f"failed to build a connected topology in {max_attempts} attempts"
+    )
+
+
+def ring_topology(n_nodes: int) -> Topology:
+    """A simple ring — worst-case diameter, useful in propagation tests."""
+    if n_nodes < 3:
+        raise ValueError("a ring needs at least three nodes")
+    topo = Topology(n_nodes)
+    for node in range(n_nodes):
+        topo.add_edge(node, (node + 1) % n_nodes)
+    return topo
+
+
+def complete_topology(n_nodes: int) -> Topology:
+    """Every pair connected — zero-hop relay, for analytical tests."""
+    if n_nodes < 2:
+        raise ValueError("need at least two nodes")
+    topo = Topology(n_nodes)
+    for a in range(n_nodes):
+        for b in range(a + 1, n_nodes):
+            topo.add_edge(a, b)
+    return topo

@@ -1,0 +1,155 @@
+"""Chain queries: transaction lookup, confirmations, address history.
+
+A thin read API over a node's chain — what an explorer or wallet
+backend needs.  Works against both node types by duck-typing their
+chain views (``BitcoinNode.tree`` / ``NGNode.chain``); results are
+recomputed per call against the current main chain, so reorgs are
+always reflected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .bitcoin.blocks import Block, TxPayload
+from .bitcoin.node import BitcoinNode
+from .core.blocks import KeyBlock, Microblock
+from .core.node import NGNode
+from .ledger.transactions import Transaction
+
+
+@dataclass(frozen=True)
+class TxLocation:
+    """Where a transaction sits in the main chain."""
+
+    txid: bytes
+    block_hash: bytes
+    height: int  # chain position of the containing block
+    is_coinbase: bool
+
+
+@dataclass(frozen=True)
+class AddressEvent:
+    """One credit or debit touching an address."""
+
+    txid: bytes
+    block_hash: bytes
+    height: int
+    delta: int  # positive = received, negative = spent
+
+
+class ChainQuery:
+    """Read-only queries against one node's view of the chain."""
+
+    def __init__(self, node: BitcoinNode | NGNode) -> None:
+        self.node = node
+
+    # -- plumbing -------------------------------------------------------
+
+    def _view(self):
+        if isinstance(self.node, NGNode):
+            return self.node.chain
+        return self.node.tree
+
+    def _main_chain(self) -> list[bytes]:
+        return self._view().main_chain()
+
+    def _block_of(self, block_hash: bytes):
+        return self._view().record(block_hash).block
+
+    def _transactions_in(self, block) -> list[Transaction]:
+        if isinstance(block, Block):
+            txs = [block.coinbase]
+            if isinstance(block.payload, TxPayload):
+                txs.extend(block.payload.transactions)
+            return txs
+        if isinstance(block, KeyBlock):
+            return [block.coinbase]
+        assert isinstance(block, Microblock)
+        if isinstance(block.payload, TxPayload):
+            return list(block.payload.transactions)
+        return []
+
+    # -- queries --------------------------------------------------------
+
+    def chain_height(self) -> int:
+        return len(self._main_chain()) - 1
+
+    def block_at_height(self, height: int):
+        """The main-chain block at a 0-indexed position (genesis = 0)."""
+        chain = self._main_chain()
+        if not 0 <= height < len(chain):
+            raise IndexError(f"height {height} beyond tip {len(chain) - 1}")
+        return self._block_of(chain[height])
+
+    def locate_transaction(self, txid: bytes) -> TxLocation | None:
+        """Find the main-chain block containing ``txid`` (None if absent)."""
+        for height, block_hash in enumerate(self._main_chain()):
+            block = self._block_of(block_hash)
+            for tx in self._transactions_in(block):
+                if tx.txid == txid:
+                    return TxLocation(
+                        txid=txid,
+                        block_hash=block_hash,
+                        height=height,
+                        is_coinbase=tx.is_coinbase,
+                    )
+        return None
+
+    def confirmations(self, txid: bytes) -> int:
+        """Weight-carrying blocks at or above the transaction's block.
+
+        Bitcoin: classic block confirmations (its own block counts).
+        Bitcoin-NG: *key blocks* at or above the containing block — the
+        unit of burial the protocol's security argument uses.  0 means
+        unconfirmed/unknown.
+        """
+        location = self.locate_transaction(txid)
+        if location is None:
+            return 0
+        chain = self._main_chain()
+        view = self._view()
+        if isinstance(self.node, NGNode):
+            tip_keys = view.tip_record.key_height
+            containing_keys = view.record(location.block_hash).key_height
+            block = self._block_of(location.block_hash)
+            # A transaction inside a key block is confirmed by it.
+            own = 1 if isinstance(block, KeyBlock) else 0
+            return tip_keys - containing_keys + own
+        return len(chain) - location.height
+
+    def address_history(self, pubkey_hash: bytes) -> list[AddressEvent]:
+        """Chronological credits/debits touching ``pubkey_hash``.
+
+        Spends are attributed by looking up each input's source output
+        in the chain itself, so the history is self-contained.
+        """
+        outputs_seen: dict[tuple[bytes, int], int] = {}
+        events: list[AddressEvent] = []
+        for height, block_hash in enumerate(self._main_chain()):
+            block = self._block_of(block_hash)
+            for tx in self._transactions_in(block):
+                delta = 0
+                for txin in tx.inputs:
+                    key = (txin.outpoint.txid, txin.outpoint.index)
+                    value = outputs_seen.get(key)
+                    if value is not None:
+                        delta -= value
+                for index, out in enumerate(tx.outputs):
+                    if out.pubkey_hash == pubkey_hash:
+                        outputs_seen[(tx.txid, index)] = out.value
+                        delta += out.value
+                if delta != 0:
+                    events.append(
+                        AddressEvent(
+                            txid=tx.txid,
+                            block_hash=block_hash,
+                            height=height,
+                            delta=delta,
+                        )
+                    )
+        return events
+
+    def balance_from_history(self, pubkey_hash: bytes) -> int:
+        """Sum of history deltas — must equal the UTXO balance."""
+        return sum(e.delta for e in self.address_history(pubkey_hash))

@@ -1,0 +1,5 @@
+"""Persistence: the append-only block store."""
+
+from .blockstore import BlockStore, StoreError
+
+__all__ = ["BlockStore", "StoreError"]

@@ -1,0 +1,144 @@
+"""Persistent block storage: an append-only log with an in-memory index.
+
+A production node must survive restarts; this store persists every
+block in wire format (see :mod:`repro.wire`) to an append-only file and
+rebuilds its index by scanning on open.  Corrupt tails (a crash mid-
+append) are truncated on recovery, mirroring how Bitcoin Core treats
+its block files.
+
+Record framing: ``[u32 length][u32 crc32][payload]``.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from pathlib import Path
+
+from ..bitcoin.blocks import Block
+from ..core.blocks import KeyBlock, Microblock
+from ..encoding import DecodeError
+from ..wire import decode, encode
+
+AnyBlock = Block | KeyBlock | Microblock
+
+_HEADER = struct.Struct("<II")  # length, crc32
+
+
+class StoreError(Exception):
+    """Raised for unrecoverable storage failures."""
+
+
+class BlockStore:
+    """Append-only persistent storage for blocks of any type."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._offsets: dict[bytes, int] = {}
+        self._order: list[bytes] = []
+        self.recovered_bytes_dropped = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self.path.exists():
+            self._scan()
+        else:
+            self.path.touch()
+        self._append_handle = self.path.open("ab")
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        self._append_handle.close()
+
+    def __enter__(self) -> "BlockStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- reads ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, block_hash: bytes) -> bool:
+        return block_hash in self._offsets
+
+    def hashes(self) -> list[bytes]:
+        """All stored block hashes in append order."""
+        return list(self._order)
+
+    def get(self, block_hash: bytes) -> AnyBlock | None:
+        offset = self._offsets.get(block_hash)
+        if offset is None:
+            return None
+        with self.path.open("rb") as handle:
+            handle.seek(offset)
+            header = handle.read(_HEADER.size)
+            length, crc = _HEADER.unpack(header)
+            payload = handle.read(length)
+        if zlib.crc32(payload) != crc:
+            raise StoreError(
+                f"checksum mismatch for block {block_hash.hex()[:8]}"
+            )
+        return decode(payload)
+
+    def iter_blocks(self):
+        """Yield every stored block in append order."""
+        for block_hash in self._order:
+            block = self.get(block_hash)
+            assert block is not None
+            yield block
+
+    # -- writes ------------------------------------------------------------------
+
+    def put(self, block: AnyBlock) -> bool:
+        """Persist a block; returns False if it was already stored."""
+        if block.hash in self._offsets:
+            return False
+        payload = encode(block)
+        record = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        offset = self._append_handle.tell()
+        self._append_handle.write(record)
+        self._append_handle.flush()
+        self._offsets[block.hash] = offset
+        self._order.append(block.hash)
+        return True
+
+    # -- recovery -------------------------------------------------------------------
+
+    def _scan(self) -> None:
+        """Rebuild the index; truncate a corrupt tail if found."""
+        good_until = 0
+        with self.path.open("rb") as handle:
+            data_size = self.path.stat().st_size
+            while True:
+                offset = handle.tell()
+                header = handle.read(_HEADER.size)
+                if not header:
+                    good_until = offset
+                    break
+                if len(header) < _HEADER.size:
+                    good_until = offset
+                    break
+                length, crc = _HEADER.unpack(header)
+                if offset + _HEADER.size + length > data_size:
+                    good_until = offset
+                    break
+                payload = handle.read(length)
+                if zlib.crc32(payload) != crc:
+                    good_until = offset
+                    break
+                try:
+                    block = decode(payload)
+                except DecodeError:
+                    good_until = offset
+                    break
+                self._offsets[block.hash] = offset
+                self._order.append(block.hash)
+                good_until = handle.tell()
+        actual = self.path.stat().st_size
+        if good_until < actual:
+            self.recovered_bytes_dropped = actual - good_until
+            with self.path.open("rb+") as handle:
+                handle.truncate(good_until)

@@ -1,0 +1,21 @@
+"""Wallet subsystem: keys, coin selection, payments, confirmations."""
+
+from .confirmation import ConfirmationPolicy, ConfirmationTracker, TxStatus
+from .wallet import (
+    DUST_THRESHOLD,
+    InsufficientFunds,
+    SpendableCoin,
+    Wallet,
+    WalletError,
+)
+
+__all__ = [
+    "DUST_THRESHOLD",
+    "ConfirmationPolicy",
+    "ConfirmationTracker",
+    "InsufficientFunds",
+    "SpendableCoin",
+    "TxStatus",
+    "Wallet",
+    "WalletError",
+]

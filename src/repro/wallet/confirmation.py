@@ -1,0 +1,94 @@
+"""Confirmation policy: when may a user trust a transaction?
+
+Section 4.3: "a user that sees a microblock should wait for the
+propagation time of the network before considering it in the chain, to
+make sure it is not pruned by a new key block."  For higher-value
+payments (and for Bitcoin) the classical rule applies: wait until the
+containing block is buried under enough proof of work.
+
+:class:`ConfirmationTracker` evaluates both rules against a chain view
+and classifies a transaction's status.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..core.chain import NGChain
+
+
+class TxStatus(enum.Enum):
+    """Lifecycle of a submitted transaction from the user's viewpoint."""
+
+    UNKNOWN = "unknown"  # not seen in any block
+    TENTATIVE = "tentative"  # in the chain, inside the danger window
+    CONFIRMED = "confirmed"  # safe under the active policy
+    PRUNED = "pruned"  # its block left the main chain
+
+
+@dataclass(frozen=True)
+class ConfirmationPolicy:
+    """Tunable thresholds for trusting a microblock entry.
+
+    ``propagation_time`` is the §4.3 wait for low-value payments;
+    ``key_block_depth`` is how many key blocks must bury the entry for
+    a high-value payment to count as settled (Bitcoin's analogue is 6
+    block confirmations).
+    """
+
+    propagation_time: float = 10.0
+    key_block_depth: int = 1
+
+    def __post_init__(self) -> None:
+        if self.propagation_time < 0:
+            raise ValueError("propagation time cannot be negative")
+        if self.key_block_depth < 0:
+            raise ValueError("key block depth cannot be negative")
+
+
+class ConfirmationTracker:
+    """Tracks the status of entries the user cares about.
+
+    The tracker is told which block carries each transaction (wallets
+    learn this from their node); status queries evaluate the chain as
+    it stands now.
+    """
+
+    def __init__(self, chain: NGChain, policy: ConfirmationPolicy) -> None:
+        self.chain = chain
+        self.policy = policy
+        self._placements: dict[bytes, tuple[bytes, float]] = {}
+
+    def observe(self, txid: bytes, block_hash: bytes, seen_at: float) -> None:
+        """Record that ``txid`` appeared in ``block_hash`` at ``seen_at``."""
+        self._placements[txid] = (block_hash, seen_at)
+
+    def status(self, txid: bytes, now: float) -> TxStatus:
+        placement = self._placements.get(txid)
+        if placement is None:
+            return TxStatus.UNKNOWN
+        block_hash, seen_at = placement
+        record = self.chain.get(block_hash)
+        if record is None:
+            return TxStatus.UNKNOWN
+        if not self.chain.is_in_main_chain(block_hash):
+            return TxStatus.PRUNED
+        # High-value rule: buried under enough key blocks.
+        tip_key_height = self.chain.tip_record.key_height
+        burial = tip_key_height - record.key_height
+        if burial >= self.policy.key_block_depth:
+            return TxStatus.CONFIRMED
+        # Low-value rule (§4.3): the propagation-time wait.
+        if now - seen_at >= self.policy.propagation_time:
+            return TxStatus.CONFIRMED
+        return TxStatus.TENTATIVE
+
+    def pending(self, now: float) -> list[bytes]:
+        """All tracked transactions not yet confirmed."""
+        return [
+            txid
+            for txid in self._placements
+            if self.status(txid, now)
+            in (TxStatus.TENTATIVE, TxStatus.UNKNOWN)
+        ]

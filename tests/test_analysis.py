@@ -1,0 +1,141 @@
+"""Analytical fork models, cross-validated against the simulator."""
+
+import pytest
+
+from repro.analysis import (
+    bitcoin_fork_probability,
+    chain_growth_bounds,
+    effective_throughput,
+    expected_mining_power_utilization,
+    expected_pruned_microblocks_per_key_block,
+    ng_keyblock_fork_probability,
+    ng_microblock_prune_probability,
+)
+
+
+def test_fork_probability_limits():
+    # No propagation delay limit: forks vanish.
+    assert bitcoin_fork_probability(600, 1e-9) == pytest.approx(0.0, abs=1e-8)
+    # Delay >> interval: forks certain.
+    assert bitcoin_fork_probability(1, 100) == pytest.approx(1.0, abs=1e-8)
+
+
+def test_fork_probability_bitcoin_operational():
+    # ~10 s propagation, 600 s blocks → the famous ~1.6% stale rate
+    # ("accidental bifurcation ... once about every 60 blocks").
+    p = bitcoin_fork_probability(600, 10)
+    assert p == pytest.approx(1 / 60, rel=0.1)
+
+
+def test_fork_probability_monotone():
+    assert bitcoin_fork_probability(600, 20) > bitcoin_fork_probability(600, 10)
+    assert bitcoin_fork_probability(60, 10) > bitcoin_fork_probability(600, 10)
+
+
+def test_ng_prune_probability_independent_of_micro_rate():
+    # The scalability core: the per-microblock prune risk depends only
+    # on the key interval and the propagation time.
+    import math
+
+    p = ng_microblock_prune_probability(100, 2)
+    assert p == pytest.approx(1 - math.exp(-0.02))
+    assert p < 0.03
+
+
+def test_ng_keyblock_fork_rarer_than_bitcoin_at_same_load():
+    # NG's key blocks are rare and small; Bitcoin's blocks at the same
+    # *payload* rate are frequent and large.
+    ng = ng_keyblock_fork_probability(100, 0.3)
+    bitcoin = bitcoin_fork_probability(10, 3.0)
+    assert ng < bitcoin
+
+
+def test_expected_pruned_microblocks():
+    assert expected_pruned_microblocks_per_key_block(10, 2) == pytest.approx(0.2)
+
+
+def test_chain_growth_bounds_ordering():
+    lower, upper = chain_growth_bounds(0.1, 5.0)
+    assert 0 < lower < upper == 0.1
+    # Zero-delay limit: bounds collapse.
+    lower2, upper2 = chain_growth_bounds(0.1, 1e-12)
+    assert lower2 == pytest.approx(upper2)
+
+
+def test_effective_throughput_tradeoff():
+    # Bigger blocks at the same interval help until forks eat the gain —
+    # with size-proportional propagation, throughput saturates.
+    def tp(size):
+        return effective_throughput(
+            block_interval=10,
+            block_size=size,
+            tx_size=476,
+            propagation_delay=size / 12_500,  # 100 kbit/s serialization
+        )
+
+    assert tp(20_000) > tp(5_000)  # growth region
+    # Marginal gain shrinks as forks grow.
+    gain_small = tp(10_000) - tp(5_000)
+    gain_large = tp(80_000) - tp(75_000)
+    assert gain_large < gain_small
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        bitcoin_fork_probability(0, 1)
+    with pytest.raises(ValueError):
+        ng_microblock_prune_probability(100, 0)
+    with pytest.raises(ValueError):
+        chain_growth_bounds(-1, 1)
+    with pytest.raises(ValueError):
+        effective_throughput(10, 0, 476, 1)
+
+
+# -- cross-validation against the simulator ---------------------------------
+
+
+@pytest.mark.parametrize("interval,expected_tol", [(20.0, 0.08), (5.0, 0.15)])
+def test_analytic_utilization_matches_simulation(interval, expected_tol):
+    from repro.experiments import ExperimentConfig, Protocol, run_experiment
+    from repro.experiments.propagation import propagation_samples
+    from repro.stats import percentile
+
+    config = ExperimentConfig(
+        protocol=Protocol.BITCOIN,
+        n_nodes=40,
+        block_rate=1.0 / interval,
+        block_size_bytes=5_000,
+        target_blocks=150,
+        cooldown=30.0,
+        seed=11,
+    )
+    result, log = run_experiment(config)
+    samples = propagation_samples(log)
+    # Use the median *miner-to-miner* propagation as the model's delay.
+    delay = percentile(samples, 0.5)
+    predicted = expected_mining_power_utilization(interval, delay)
+    assert result.mining_power_utilization == pytest.approx(
+        predicted, abs=expected_tol
+    )
+
+
+def test_simulated_growth_within_bounds():
+    from repro.experiments import ExperimentConfig, Protocol, run_experiment
+    from repro.experiments.propagation import propagation_samples
+    from repro.stats import percentile
+
+    config = ExperimentConfig(
+        protocol=Protocol.BITCOIN,
+        n_nodes=40,
+        block_rate=0.2,
+        block_size_bytes=5_000,
+        target_blocks=200,
+        cooldown=30.0,
+        seed=12,
+    )
+    result, log = run_experiment(config)
+    samples = propagation_samples(log)
+    delay = percentile(samples, 0.9)
+    lower, upper = chain_growth_bounds(0.2, delay)
+    growth = result.main_chain_length / result.duration
+    assert lower * 0.9 <= growth <= upper * 1.05

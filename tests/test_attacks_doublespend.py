@@ -1,0 +1,51 @@
+"""The end-to-end double-spend / poison scenario."""
+
+import pytest
+
+from repro.attacks.doublespend import run_doublespend_scenario
+from repro.core.params import NGParams
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_doublespend_scenario()
+
+
+def test_equivocation_detected(report):
+    assert report.equivocation_detected
+    assert report.pruned_micro != report.retained_micro
+
+
+def test_poison_accepted_once(report):
+    assert report.poison_accepted
+    assert report.duplicate_poison_rejected
+
+
+def test_offender_revenue_revoked(report):
+    assert report.offender_revenue == 0
+    assert report.offender_revenue_without_poison > 0
+
+
+def test_reporter_earns_five_percent(report):
+    expected = int(report.offender_revenue_without_poison * 0.05)
+    assert report.reporter_bounty == expected
+
+
+def test_bounty_fraction_configurable():
+    params = NGParams(
+        key_block_interval=100.0,
+        min_microblock_interval=10.0,
+        poison_bounty_fraction=0.10,
+    )
+    custom = run_doublespend_scenario(params=params)
+    expected = int(custom.offender_revenue_without_poison * 0.10)
+    assert custom.reporter_bounty == expected
+
+
+def test_fees_scale_offense_value():
+    small = run_doublespend_scenario(fee_per_tx=0)
+    large = run_doublespend_scenario(fee_per_tx=10_000)
+    assert (
+        large.offender_revenue_without_poison
+        > small.offender_revenue_without_poison
+    )

@@ -1,0 +1,38 @@
+"""The eclipse + double-spend scenario."""
+
+import pytest
+
+from repro.attacks.eclipse import run_eclipse_scenario
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_eclipse_scenario()
+
+
+def test_victim_is_fooled_while_eclipsed(report):
+    assert report.victim_accepted_fake_chain
+    assert report.fake_depth_reached == 2
+
+
+def test_honest_chain_outgrows_attacker(report):
+    assert report.honest_chain_heavier
+    assert report.honest_height > report.fake_height
+
+
+def test_heal_prunes_the_fake_payment(report):
+    assert report.payment_pruned_after_heal
+
+
+def test_confirmation_depth_defends():
+    # With the attacker capped at 2 blocks, a 3-confirmation policy
+    # would never have shown the fake payment as settled.
+    report = run_eclipse_scenario(attacker_blocks=2, honest_blocks=5)
+    required_depth = 3
+    confirmations_available = report.fake_height  # depth of the payment
+    assert confirmations_available < required_depth
+
+
+def test_scenario_validation():
+    with pytest.raises(ValueError):
+        run_eclipse_scenario(attacker_blocks=5, honest_blocks=3)

@@ -1,0 +1,94 @@
+"""Selfish mining and the weighted-microblock ablation."""
+
+import pytest
+
+from repro.attacks.selfish import (
+    leadership_retention_probability,
+    revenue_curve,
+    selfish_threshold,
+    simulate_selfish_mining,
+    simulate_weighted_micro_takeover,
+)
+
+
+def test_threshold_closed_form():
+    assert selfish_threshold(0.0) == pytest.approx(1 / 3)
+    assert selfish_threshold(0.5) == pytest.approx(0.25)
+    assert selfish_threshold(1.0) == pytest.approx(0.0)
+
+
+def test_below_threshold_unprofitable():
+    outcome = simulate_selfish_mining(0.15, gamma=0.5, n_blocks=150_000)
+    assert outcome.relative_gain < 0
+
+
+def test_above_threshold_profitable():
+    outcome = simulate_selfish_mining(0.33, gamma=0.5, n_blocks=150_000)
+    assert outcome.relative_gain > 0.01
+
+
+def test_quarter_bound_is_the_knife_edge():
+    # The paper's 1/4 assumption: at γ=0.5 the threshold is exactly 1/4.
+    at = simulate_selfish_mining(0.25, gamma=0.5, n_blocks=300_000)
+    assert abs(at.relative_gain) < 0.01
+
+
+def test_rushing_lowers_threshold():
+    # γ=1 (perfect rushing): profitable even for tiny attackers.
+    outcome = simulate_selfish_mining(0.2, gamma=1.0, n_blocks=150_000)
+    assert outcome.relative_gain > 0
+
+
+def test_revenue_curve_monotone_in_alpha():
+    curve = revenue_curve(gamma=0.5, alphas=(0.1, 0.25, 0.4), n_blocks=100_000)
+    shares = [o.attacker_revenue_share for o in curve]
+    assert shares == sorted(shares)
+
+
+def test_simulation_deterministic():
+    a = simulate_selfish_mining(0.3, n_blocks=10_000, seed=5)
+    b = simulate_selfish_mining(0.3, n_blocks=10_000, seed=5)
+    assert a == b
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        simulate_selfish_mining(0.6)
+    with pytest.raises(ValueError):
+        simulate_selfish_mining(0.2, gamma=2.0)
+    with pytest.raises(ValueError):
+        selfish_threshold(-0.1)
+
+
+# -- weighted-microblock ablation (why micro weight must be zero) -------
+
+
+def test_zero_weight_gives_zero_retention():
+    assert leadership_retention_probability(0.0, 100.0, 10.0) == 0.0
+    assert simulate_weighted_micro_takeover(0.0, 100.0, 10.0) == 0.0
+
+
+def test_any_weight_gives_positive_retention():
+    probability = leadership_retention_probability(0.05, 100.0, 10.0)
+    assert probability > 0.1
+
+
+def test_retention_monotone_in_weight():
+    low = leadership_retention_probability(0.01, 100.0, 10.0)
+    high = leadership_retention_probability(0.5, 100.0, 10.0)
+    assert high > low
+
+
+def test_monte_carlo_matches_closed_form():
+    analytic = leadership_retention_probability(0.1, 100.0, 10.0)
+    empirical = simulate_weighted_micro_takeover(
+        0.1, 100.0, 10.0, n_trials=100_000
+    )
+    assert empirical == pytest.approx(analytic, abs=0.01)
+
+
+def test_weighted_validation():
+    with pytest.raises(ValueError):
+        leadership_retention_probability(-0.1, 100.0, 10.0)
+    with pytest.raises(ValueError):
+        leadership_retention_probability(0.1, 0.0, 10.0)

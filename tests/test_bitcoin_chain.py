@@ -1,0 +1,182 @@
+"""The Bitcoin block tree: heaviest chain, reorgs, orphans, ties."""
+
+import random
+
+import pytest
+
+from repro.bitcoin.blocks import SyntheticPayload, build_block, make_genesis
+from repro.bitcoin.chain import BlockTree, TieBreak
+
+GENESIS = make_genesis()
+
+
+def _block(prev_hash, salt, bits=0x207FFFFF):
+    return build_block(
+        prev_hash=prev_hash,
+        payload=SyntheticPayload(n_tx=0, salt=salt.encode()),
+        timestamp=0.0,
+        bits=bits,
+        miner_id=0,
+        reward=0,
+    )
+
+
+def _chain(tree, start, labels, bits=0x207FFFFF, t=0.0):
+    blocks = []
+    prev = start
+    for label in labels:
+        block = _block(prev, label, bits)
+        tree.add_block(block, t)
+        blocks.append(block)
+        prev = block.hash
+    return blocks
+
+
+def test_extension_advances_tip():
+    tree = BlockTree(GENESIS)
+    blocks = _chain(tree, GENESIS.hash, ["a", "b", "c"])
+    assert tree.tip == blocks[-1].hash
+    assert tree.height_of(tree.tip) == 3
+
+
+def test_main_chain_order():
+    tree = BlockTree(GENESIS)
+    blocks = _chain(tree, GENESIS.hash, ["a", "b"])
+    assert tree.main_chain() == [GENESIS.hash] + [b.hash for b in blocks]
+
+
+def test_shorter_branch_ignored():
+    tree = BlockTree(GENESIS)
+    main = _chain(tree, GENESIS.hash, ["a", "b"])
+    _chain(tree, GENESIS.hash, ["x"])
+    assert tree.tip == main[-1].hash
+
+
+def test_heavier_branch_triggers_reorg():
+    tree = BlockTree(GENESIS)
+    _chain(tree, GENESIS.hash, ["a"])
+    branch = _chain(tree, GENESIS.hash, ["x", "y"])
+    assert tree.tip == branch[-1].hash
+
+
+def test_reorg_paths_correct():
+    tree = BlockTree(GENESIS)
+    old = _chain(tree, GENESIS.hash, ["a", "b"])
+    new_blocks = []
+    prev = GENESIS.hash
+    reorgs = []
+    for label in ["x", "y", "z"]:
+        block = _block(prev, label)
+        reorgs.extend(tree.add_block(block, 0.0))
+        new_blocks.append(block)
+        prev = block.hash
+    final = reorgs[-1]
+    assert final.disconnected == (old[1].hash, old[0].hash)  # tip first
+    assert final.connected == tuple(b.hash for b in new_blocks)
+    assert not final.is_extension
+
+
+def test_extension_reorg_flag():
+    tree = BlockTree(GENESIS)
+    block = _block(GENESIS.hash, "a")
+    (reorg,) = tree.add_block(block, 0.0)
+    assert reorg.is_extension
+    assert reorg.connected == (block.hash,)
+
+
+def test_first_seen_tie_break_keeps_current():
+    tree = BlockTree(GENESIS, tie_break=TieBreak.FIRST_SEEN)
+    first = _block(GENESIS.hash, "first")
+    second = _block(GENESIS.hash, "second")
+    tree.add_block(first, 0.0)
+    tree.add_block(second, 1.0)
+    assert tree.tip == first.hash
+
+
+def test_random_tie_break_switches_sometimes():
+    outcomes = set()
+    for seed in range(30):
+        tree = BlockTree(
+            GENESIS, tie_break=TieBreak.RANDOM, rng=random.Random(seed)
+        )
+        first = _block(GENESIS.hash, "first")
+        second = _block(GENESIS.hash, "second")
+        tree.add_block(first, 0.0)
+        tree.add_block(second, 1.0)
+        outcomes.add(tree.tip)
+    assert len(outcomes) == 2  # both branches win somewhere
+
+
+def test_orphan_buffered_until_parent():
+    tree = BlockTree(GENESIS)
+    parent = _block(GENESIS.hash, "p")
+    child = _block(parent.hash, "c")
+    tree.add_block(child, 0.0)
+    assert child.hash not in tree
+    assert tree.orphan_count() == 1
+    tree.add_block(parent, 1.0)
+    assert child.hash in tree
+    assert tree.tip == child.hash
+    assert tree.orphan_count() == 0
+
+
+def test_orphan_chain_unwinds_recursively():
+    tree = BlockTree(GENESIS)
+    a = _block(GENESIS.hash, "a")
+    b = _block(a.hash, "b")
+    c = _block(b.hash, "c")
+    tree.add_block(c, 0.0)
+    tree.add_block(b, 0.0)
+    tree.add_block(a, 0.0)
+    assert tree.tip == c.hash
+
+
+def test_duplicate_block_ignored():
+    tree = BlockTree(GENESIS)
+    block = _block(GENESIS.hash, "a")
+    assert tree.add_block(block, 0.0)
+    assert tree.add_block(block, 1.0) == []
+
+
+def test_is_in_main_chain():
+    tree = BlockTree(GENESIS)
+    main = _chain(tree, GENESIS.hash, ["a", "b"])
+    side = _chain(tree, GENESIS.hash, ["x"])
+    assert tree.is_in_main_chain(GENESIS.hash)
+    assert tree.is_in_main_chain(main[0].hash)
+    assert not tree.is_in_main_chain(side[0].hash)
+
+
+def test_find_fork_point():
+    tree = BlockTree(GENESIS)
+    main = _chain(tree, GENESIS.hash, ["a", "b"])
+    side = _chain(tree, main[0].hash, ["x", "y"])
+    assert tree.find_fork_point(main[1].hash, side[1].hash) == main[0].hash
+
+
+def test_pruned_blocks():
+    tree = BlockTree(GENESIS)
+    _chain(tree, GENESIS.hash, ["a", "b"])
+    side = _chain(tree, GENESIS.hash, ["x"])
+    assert tree.pruned_blocks() == [side[0].hash]
+
+
+def test_leaves():
+    tree = BlockTree(GENESIS)
+    main = _chain(tree, GENESIS.hash, ["a", "b"])
+    side = _chain(tree, GENESIS.hash, ["x"])
+    assert set(tree.leaves()) == {main[-1].hash, side[0].hash}
+
+
+def test_cumulative_work_accrues():
+    tree = BlockTree(GENESIS)
+    blocks = _chain(tree, GENESIS.hash, ["a", "b"])
+    work = tree.work_of(blocks[1].hash)
+    assert work == 2 * blocks[0].header.work
+
+
+def test_consistency_invariant():
+    tree = BlockTree(GENESIS)
+    _chain(tree, GENESIS.hash, ["a", "b", "c"])
+    _chain(tree, GENESIS.hash, ["x", "y"])
+    tree.assert_consistent()

@@ -1,0 +1,94 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_run_command(capsys):
+    code = main(
+        [
+            "run",
+            "--protocol", "bitcoin",
+            "--nodes", "15",
+            "--blocks", "10",
+            "--block-rate", "0.1",
+            "--block-size", "5000",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "mining_power_utilization" in out
+    assert "blocks generated" in out
+
+
+def test_run_ng_command(capsys):
+    code = main(
+        [
+            "run",
+            "--protocol", "bitcoin-ng",
+            "--nodes", "15",
+            "--blocks", "10",
+            "--block-rate", "0.2",
+            "--key-block-rate", "0.05",
+            "--block-size", "5000",
+        ]
+    )
+    assert code == 0
+    assert "consensus_delay" in capsys.readouterr().out
+
+
+def test_incentives_command(capsys):
+    code = main(["incentives", "--alpha", "0.25"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "0.3684" in out
+    assert "0.4286" in out
+    assert "True" in out
+
+
+def test_incentives_optimal_network(capsys):
+    main(["incentives", "--alpha", "0.3333"])
+    out = capsys.readouterr().out
+    assert "feasible:                False" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_protocol():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--protocol", "dogecoin"])
+
+
+def test_run_with_trace_export(tmp_path, capsys):
+    trace = tmp_path / "t.json"
+    code = main(
+        [
+            "run",
+            "--protocol", "bitcoin",
+            "--nodes", "12",
+            "--blocks", "8",
+            "--block-rate", "0.1",
+            "--block-size", "3000",
+            "--save-trace", str(trace),
+        ]
+    )
+    assert code == 0
+    assert trace.exists()
+    from repro.metrics import load_trace
+
+    log = load_trace(trace)
+    assert log.n_nodes == 12
+
+
+def test_sweep_with_chart(capsys):
+    code = main(
+        ["sweep", "frequency", "--nodes", "10", "--blocks", "6",
+         "--chart", "mining_power_utilization"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "mining_power_utilization vs" in out

@@ -1,0 +1,174 @@
+"""Key block and microblock structure, signatures, mining."""
+
+import pytest
+
+from repro.bitcoin.blocks import SyntheticPayload, TxPayload
+from repro.core.blocks import (
+    KEY_HEADER_SIZE,
+    MICRO_HEADER_SIZE,
+    InvalidNGBlock,
+    KeyBlock,
+    build_key_block,
+    build_microblock,
+    check_key_block,
+    check_microblock_structure,
+    mine_key_block,
+)
+from repro.core.remuneration import build_ng_coinbase
+from repro.core.params import NGParams
+from repro.crypto.hashing import hash160
+from repro.crypto.keys import PrivateKey
+
+LEADER = PrivateKey.from_seed("leader")
+OTHER = PrivateKey.from_seed("other")
+PARAMS = NGParams()
+
+
+def _key_block(prev=bytes(32), key=LEADER, miner=1, t=0.0):
+    coinbase = build_ng_coinbase(
+        miner_id=miner,
+        timestamp=t,
+        self_pubkey_hash=hash160(key.public_key().to_bytes()),
+        prev_leader_pubkey_hash=None,
+        prev_epoch_fees=0,
+        params=PARAMS,
+    )
+    return build_key_block(
+        prev_hash=prev,
+        timestamp=t,
+        bits=0x207FFFFF,
+        leader_pubkey=key.public_key().to_bytes(),
+        coinbase=coinbase,
+    )
+
+
+def _micro(prev, key=LEADER, t=10.0, payload=None):
+    return build_microblock(
+        prev_hash=prev,
+        timestamp=t,
+        payload=payload or SyntheticPayload(n_tx=5, salt=b"m"),
+        leader_key=key,
+    )
+
+
+def test_key_block_contains_public_key():
+    block = _key_block()
+    assert block.header.leader_pubkey == LEADER.public_key().to_bytes()
+
+
+def test_key_block_size_small():
+    # "low frequency and quick propagation of the small key blocks"
+    block = _key_block()
+    assert block.size < 300
+    assert block.size == KEY_HEADER_SIZE + block.coinbase.size
+
+
+def test_key_block_miner_hint():
+    assert _key_block(miner=7).miner_hint == 7
+
+
+def test_key_block_hash_commits_to_leader_key():
+    a = _key_block(key=LEADER)
+    b = _key_block(key=OTHER)
+    assert a.hash != b.hash
+
+
+def test_check_key_block_valid():
+    check_key_block(_key_block(), require_pow=False)
+
+
+def test_check_key_block_rejects_bad_pubkey_length():
+    with pytest.raises(InvalidNGBlock):
+        build_key_block(
+            prev_hash=bytes(32),
+            timestamp=0.0,
+            bits=0x207FFFFF,
+            leader_pubkey=b"\x02" * 10,
+            coinbase=_key_block().coinbase,
+        )
+
+
+def test_check_key_block_rejects_undecodable_pubkey():
+    block = _key_block()
+    forged = build_key_block(
+        prev_hash=bytes(32),
+        timestamp=0.0,
+        bits=0x207FFFFF,
+        leader_pubkey=b"\x07" + b"\x00" * 32,  # bad prefix
+        coinbase=block.coinbase,
+    )
+    with pytest.raises(InvalidNGBlock):
+        check_key_block(forged, require_pow=False)
+
+
+def test_check_key_block_rejects_coinbase_mismatch():
+    block = _key_block()
+    other = _key_block(miner=9)
+    forged = KeyBlock(block.header, other.coinbase)
+    with pytest.raises(InvalidNGBlock):
+        check_key_block(forged, require_pow=False)
+
+
+def test_mine_key_block():
+    mined = mine_key_block(_key_block())
+    assert mined.header.meets_pow()
+    check_key_block(mined, require_pow=True)
+
+
+def test_microblock_signature_verifies():
+    key_block = _key_block()
+    micro = _micro(key_block.hash)
+    assert micro.verify_signature(LEADER.public_key().to_bytes())
+
+
+def test_microblock_signature_wrong_key_fails():
+    micro = _micro(bytes(32), key=LEADER)
+    assert not micro.verify_signature(OTHER.public_key().to_bytes())
+    assert not micro.verify_signature(b"\x00" * 33)
+
+
+def test_microblock_carries_no_work():
+    # No bits/nonce fields at all: weight is structural, not zeroed.
+    micro = _micro(bytes(32))
+    assert not hasattr(micro.header, "bits")
+    assert not hasattr(micro.header, "nonce")
+
+
+def test_microblock_size():
+    micro = _micro(bytes(32), payload=SyntheticPayload(n_tx=10, tx_size=100))
+    assert micro.size == MICRO_HEADER_SIZE + 1000
+
+
+def test_check_microblock_structure_size_cap():
+    micro = _micro(bytes(32), payload=SyntheticPayload(n_tx=100, tx_size=1000))
+    with pytest.raises(InvalidNGBlock):
+        check_microblock_structure(micro, max_bytes=50_000)
+    check_microblock_structure(micro, max_bytes=200_000)
+
+
+def test_check_microblock_structure_root_mismatch():
+    from repro.core.blocks import Microblock
+
+    micro = _micro(bytes(32))
+    forged = Microblock(
+        micro.header, micro.signature, SyntheticPayload(n_tx=9, salt=b"z")
+    )
+    with pytest.raises(InvalidNGBlock):
+        check_microblock_structure(forged, max_bytes=1_000_000)
+
+
+def test_microblock_hash_differs_from_signing_payload():
+    micro = _micro(bytes(32))
+    assert micro.hash != micro.header.signing_payload()
+
+
+def test_tx_payload_microblock():
+    from repro.ledger.transactions import OutPoint, Transaction, TxInput, TxOutput
+
+    tx = Transaction(
+        inputs=(TxInput(OutPoint(b"\x01" * 32, 0)),),
+        outputs=(TxOutput(1, bytes(20)),),
+    )
+    micro = _micro(bytes(32), payload=TxPayload((tx,)))
+    assert micro.n_tx == 1
+    check_microblock_structure(micro, max_bytes=1_000_000)

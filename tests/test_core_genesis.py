@@ -1,0 +1,64 @@
+"""NG genesis construction and coin seeding."""
+
+import pytest
+
+from repro.core.genesis import (
+    GENESIS_LEADER_KEY,
+    make_ng_genesis,
+    seed_genesis_coins,
+)
+from repro.crypto.keys import PrivateKey
+from repro.ledger.errors import DoubleSpend
+from repro.ledger.utxo import UtxoSet
+
+
+def test_genesis_deterministic():
+    assert make_ng_genesis().hash == make_ng_genesis().hash
+
+
+def test_genesis_carries_wellknown_leader_key():
+    genesis = make_ng_genesis()
+    assert (
+        genesis.header.leader_pubkey
+        == GENESIS_LEADER_KEY.public_key().to_bytes()
+    )
+
+
+def test_genesis_custom_leader_key():
+    custom = PrivateKey.from_seed("my-testnet")
+    genesis = make_ng_genesis(leader_key=custom)
+    assert genesis.header.leader_pubkey == custom.public_key().to_bytes()
+    assert genesis.hash != make_ng_genesis().hash
+
+
+def test_seed_genesis_coins_credits_balances():
+    utxo = UtxoSet()
+    alice, bob = bytes(20), bytes(range(20))
+    outpoints = seed_genesis_coins(utxo, [(alice, 100), (bob, 50)])
+    assert len(outpoints) == 2
+    assert utxo.balance(alice) == 100
+    assert utxo.balance(bob) == 50
+    assert utxo.total_value() == 150
+
+
+def test_seed_genesis_coins_identical_across_nodes():
+    a, b = UtxoSet(), UtxoSet()
+    allocation = [(bytes(20), 75)]
+    outpoints_a = seed_genesis_coins(a, allocation)
+    outpoints_b = seed_genesis_coins(b, allocation)
+    assert outpoints_a == outpoints_b
+    assert a.snapshot() == b.snapshot()
+
+
+def test_seed_genesis_coins_salt_separates_networks():
+    utxo = UtxoSet()
+    first = seed_genesis_coins(utxo, [(bytes(20), 1)], salt=b"net-a")
+    second = seed_genesis_coins(utxo, [(bytes(20), 1)], salt=b"net-b")
+    assert first[0].txid != second[0].txid
+
+
+def test_seed_genesis_coins_rejects_double_seed():
+    utxo = UtxoSet()
+    seed_genesis_coins(utxo, [(bytes(20), 1)])
+    with pytest.raises(DoubleSpend):
+        seed_genesis_coins(utxo, [(bytes(20), 1)])

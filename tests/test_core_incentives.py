@@ -1,0 +1,96 @@
+"""The Section 5 closed-form incentive analysis."""
+
+import pytest
+
+from repro.core.incentives import (
+    BYZANTINE_BOUND,
+    OPTIMAL_NETWORK_BOUND,
+    critical_alpha,
+    extension_deviation_revenue,
+    extension_honest_revenue,
+    incentive_window,
+    inclusion_deviation_revenue,
+    inclusion_honest_revenue,
+    is_incentive_compatible,
+    max_leader_fraction,
+    min_leader_fraction,
+)
+
+
+def test_paper_headline_window():
+    # "we obtain r_leader > 37%" and "< 43%, hence 40% is within range".
+    window = incentive_window(BYZANTINE_BOUND)
+    assert window.lower == pytest.approx(0.3684, abs=1e-3)
+    assert window.upper == pytest.approx(0.4286, abs=1e-3)
+    assert window.contains(0.40)
+    assert window.feasible
+
+
+def test_optimal_network_window_empty():
+    # At α = 1/3: r > 45% and r < 40% — "leaving no intersection".
+    window = incentive_window(OPTIMAL_NETWORK_BOUND)
+    assert window.lower == pytest.approx(0.4545, abs=1e-3)
+    assert window.upper == pytest.approx(0.40, abs=1e-3)
+    assert not window.feasible
+    assert window.width == 0.0
+
+
+def test_bounds_at_zero_attacker():
+    assert min_leader_fraction(0.0) == pytest.approx(0.0)
+    assert max_leader_fraction(0.0) == pytest.approx(0.5)
+
+
+def test_window_shrinks_with_attacker_size():
+    small = incentive_window(0.1)
+    large = incentive_window(0.25)
+    assert small.width > large.width
+
+
+def test_inclusion_inequality_at_boundary():
+    # The deviation revenue equals the honest revenue exactly at the
+    # closed-form bound.
+    alpha = 0.25
+    r_star = min_leader_fraction(alpha)
+    assert inclusion_deviation_revenue(alpha, r_star) == pytest.approx(
+        inclusion_honest_revenue(r_star)
+    )
+
+
+def test_extension_inequality_at_boundary():
+    alpha = 0.25
+    r_star = max_leader_fraction(alpha)
+    assert extension_deviation_revenue(alpha, r_star) == pytest.approx(
+        extension_honest_revenue(r_star)
+    )
+
+
+def test_paper_choice_is_compatible():
+    assert is_incentive_compatible(0.25, 0.40)
+
+
+def test_extremes_not_compatible():
+    assert not is_incentive_compatible(0.25, 0.30)  # below the window
+    assert not is_incentive_compatible(0.25, 0.50)  # above the window
+
+
+def test_critical_alpha_for_paper_r():
+    # r = 40% stays safe a little beyond 1/4.
+    alpha_star = critical_alpha(0.40)
+    assert 0.25 < alpha_star < 0.34
+    assert is_incentive_compatible(alpha_star - 1e-6, 0.40)
+    assert not is_incentive_compatible(alpha_star + 1e-3, 0.40)
+
+
+def test_critical_alpha_for_infeasible_r():
+    assert critical_alpha(0.0) == 0.0  # inclusion deviation always wins
+
+
+def test_input_validation():
+    with pytest.raises(ValueError):
+        min_leader_fraction(1.0)
+    with pytest.raises(ValueError):
+        max_leader_fraction(-0.1)
+    with pytest.raises(ValueError):
+        inclusion_deviation_revenue(0.25, 1.5)
+    with pytest.raises(ValueError):
+        critical_alpha(-0.1)

@@ -1,0 +1,50 @@
+"""NG parameter validation and derived rates."""
+
+import pytest
+
+from repro.core.params import PAPER_EVALUATION_PARAMS, NGParams
+
+
+def test_paper_defaults():
+    params = NGParams()
+    assert params.leader_fee_fraction == 0.40
+    assert params.poison_bounty_fraction == 0.05
+    assert params.coinbase_maturity == 100
+
+
+def test_evaluation_params_match_section_8():
+    assert PAPER_EVALUATION_PARAMS.key_block_interval == 100.0
+    assert PAPER_EVALUATION_PARAMS.min_microblock_interval == 10.0
+
+
+def test_derived_rates():
+    params = NGParams(key_block_interval=50.0, min_microblock_interval=5.0)
+    assert params.key_block_rate == pytest.approx(0.02)
+    assert params.microblock_rate == pytest.approx(0.2)
+
+
+def test_microblock_rate_undefined_without_cap():
+    params = NGParams(min_microblock_interval=0.0)
+    with pytest.raises(ValueError):
+        _ = params.microblock_rate
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        NGParams(key_block_interval=0)
+    with pytest.raises(ValueError):
+        NGParams(min_microblock_interval=-1)
+    with pytest.raises(ValueError):
+        NGParams(leader_fee_fraction=1.5)
+    with pytest.raises(ValueError):
+        NGParams(poison_bounty_fraction=-0.1)
+    with pytest.raises(ValueError):
+        NGParams(max_microblock_bytes=0)
+    with pytest.raises(ValueError):
+        NGParams(coinbase_maturity=-1)
+
+
+def test_frozen():
+    params = NGParams()
+    with pytest.raises(Exception):
+        params.leader_fee_fraction = 0.5  # type: ignore[misc]

@@ -1,0 +1,69 @@
+"""Merkle tree construction and inclusion proofs."""
+
+import pytest
+
+from repro.crypto.hashing import sha256d
+from repro.crypto.merkle import EMPTY_ROOT, merkle_proof, merkle_root, verify_proof
+
+
+def _leaves(n):
+    return [sha256d(bytes([i])) for i in range(n)]
+
+
+def test_empty_tree():
+    assert merkle_root([]) == EMPTY_ROOT
+
+
+def test_single_leaf_is_root():
+    leaf = sha256d(b"only")
+    assert merkle_root([leaf]) == leaf
+
+
+def test_two_leaves():
+    a, b = _leaves(2)
+    assert merkle_root([a, b]) == sha256d(a + b)
+
+
+def test_odd_leaf_duplication():
+    a, b, c = _leaves(3)
+    level1 = [sha256d(a + b), sha256d(c + c)]
+    assert merkle_root([a, b, c]) == sha256d(level1[0] + level1[1])
+
+
+def test_root_depends_on_order():
+    a, b = _leaves(2)
+    assert merkle_root([a, b]) != merkle_root([b, a])
+
+
+def test_proofs_verify_for_all_positions():
+    for n in (1, 2, 3, 4, 5, 8, 13):
+        leaves = _leaves(n)
+        root = merkle_root(leaves)
+        for i, leaf in enumerate(leaves):
+            proof = merkle_proof(leaves, i)
+            assert verify_proof(leaf, proof, root), (n, i)
+
+
+def test_proof_fails_for_wrong_leaf():
+    leaves = _leaves(8)
+    root = merkle_root(leaves)
+    proof = merkle_proof(leaves, 3)
+    assert not verify_proof(leaves[4], proof, root)
+
+
+def test_proof_fails_for_wrong_root():
+    leaves = _leaves(8)
+    proof = merkle_proof(leaves, 0)
+    assert not verify_proof(leaves[0], proof, sha256d(b"other"))
+
+
+def test_proof_length_is_logarithmic():
+    leaves = _leaves(16)
+    assert len(merkle_proof(leaves, 0)) == 4
+
+
+def test_proof_index_bounds():
+    with pytest.raises(IndexError):
+        merkle_proof(_leaves(4), 4)
+    with pytest.raises(IndexError):
+        merkle_proof(_leaves(4), -1)

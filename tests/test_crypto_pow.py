@@ -1,0 +1,87 @@
+"""Proof-of-work targets, compact encoding, work accounting."""
+
+import pytest
+
+from repro.crypto.pow import (
+    GENESIS_TARGET,
+    MAX_TARGET,
+    InvalidTarget,
+    compact_from_target,
+    difficulty_from_target,
+    meets_target,
+    scale_target,
+    target_from_compact,
+    work_from_target,
+)
+
+
+def test_meets_target_boundary():
+    target = 1000
+    assert meets_target((1000).to_bytes(32, "big"), target)
+    assert not meets_target((1001).to_bytes(32, "big"), target)
+
+
+def test_work_inverse_to_target():
+    assert work_from_target(MAX_TARGET) == 1
+    small = work_from_target(GENESIS_TARGET)
+    assert small > 2**31  # genesis difficulty is ~2^32 hashes
+
+
+def test_work_monotone_in_difficulty():
+    assert work_from_target(GENESIS_TARGET) > work_from_target(GENESIS_TARGET * 2)
+
+
+def test_compact_roundtrip_bitcoin_genesis():
+    # Bitcoin's genesis nBits.
+    bits = 0x1D00FFFF
+    target = target_from_compact(bits)
+    assert target == GENESIS_TARGET
+    assert compact_from_target(target) == bits
+
+
+def test_compact_roundtrip_regtest():
+    bits = 0x207FFFFF
+    assert compact_from_target(target_from_compact(bits)) == bits
+
+
+def test_compact_small_exponent():
+    # Exponent <= 3 shifts right.
+    assert target_from_compact(0x03123456) == 0x123456
+    assert target_from_compact(0x02123456) == 0x1234
+
+
+def test_compact_rejects_negative_and_zero():
+    with pytest.raises(InvalidTarget):
+        target_from_compact(0x03800000)  # sign bit set
+    with pytest.raises(InvalidTarget):
+        target_from_compact(0x03000000)  # zero mantissa
+
+
+def test_difficulty_relative_to_genesis():
+    assert difficulty_from_target(GENESIS_TARGET) == pytest.approx(1.0)
+    assert difficulty_from_target(GENESIS_TARGET // 2) == pytest.approx(2.0)
+
+
+def test_scale_target_clamps():
+    target = GENESIS_TARGET
+    assert scale_target(target, 100.0) == target * 4  # clamped up
+    assert scale_target(target, 0.001) == target // 4  # clamped down
+
+
+def test_scale_target_within_clamp():
+    target = 1 << 200
+    assert scale_target(target, 2.0) == target * 2
+
+
+def test_scale_target_bounds():
+    assert scale_target(MAX_TARGET, 4.0) == MAX_TARGET  # never exceeds max
+    assert scale_target(1, 0.25) == 1  # never hits zero
+    with pytest.raises(ValueError):
+        scale_target(1000, 0.0)
+
+
+def test_target_range_validation():
+    with pytest.raises(InvalidTarget):
+        work_from_target(0)
+    with pytest.raises(InvalidTarget):
+        work_from_target(MAX_TARGET + 1)

@@ -1,0 +1,51 @@
+"""Whole-simulation determinism: the reproducibility guarantee.
+
+Every experiment in the repository leans on the fact that a seeded
+simulation replays identically — block hashes, arrival times, and all
+derived metrics.
+"""
+
+from repro.experiments import ExperimentConfig, Protocol, run_experiment
+
+CONFIG = ExperimentConfig(
+    n_nodes=20,
+    target_blocks=20,
+    target_key_blocks=6,
+    block_rate=0.1,
+    block_size_bytes=5000,
+    cooldown=20.0,
+    seed=9,
+)
+
+
+def _fingerprint(log):
+    blocks = sorted(
+        (info.hash, info.miner, info.gen_time)
+        for info in log.index.all_blocks()
+    )
+    arrivals = [sorted(node_arrivals.items()) for node_arrivals in log.arrivals]
+    return blocks, arrivals, log.main_chain()
+
+
+def test_bitcoin_simulation_bit_identical():
+    _, log_a = run_experiment(CONFIG.with_(protocol=Protocol.BITCOIN))
+    _, log_b = run_experiment(CONFIG.with_(protocol=Protocol.BITCOIN))
+    assert _fingerprint(log_a) == _fingerprint(log_b)
+
+
+def test_ng_simulation_bit_identical():
+    _, log_a = run_experiment(CONFIG.with_(protocol=Protocol.BITCOIN_NG))
+    _, log_b = run_experiment(CONFIG.with_(protocol=Protocol.BITCOIN_NG))
+    assert _fingerprint(log_a) == _fingerprint(log_b)
+
+
+def test_ghost_simulation_bit_identical():
+    _, log_a = run_experiment(CONFIG.with_(protocol=Protocol.GHOST))
+    _, log_b = run_experiment(CONFIG.with_(protocol=Protocol.GHOST))
+    assert _fingerprint(log_a) == _fingerprint(log_b)
+
+
+def test_different_seeds_different_executions():
+    _, log_a = run_experiment(CONFIG.with_(seed=1))
+    _, log_b = run_experiment(CONFIG.with_(seed=2))
+    assert _fingerprint(log_a) != _fingerprint(log_b)

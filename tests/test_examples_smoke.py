@@ -1,0 +1,40 @@
+"""Smoke tests: the lightweight examples must run clean end to end.
+
+The heavier simulation examples (quickstart, frequency_tradeoff,
+power_variation) are exercised through the experiments tests; the quick
+ones run here as subprocesses so a refactor cannot silently break the
+documented entry points.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "ghost_ambiguity.py",
+    "doublespend_poison.py",
+    "light_client.py",
+    "payment_network.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+def test_all_examples_present():
+    scripts = {path.name for path in EXAMPLES.glob("*.py")}
+    assert "quickstart.py" in scripts
+    assert len(scripts) >= 5  # the deliverable floor, with room above

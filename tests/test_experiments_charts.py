@@ -1,0 +1,69 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.experiments.charts import ascii_chart, sweep_chart
+
+
+def test_basic_chart_contains_symbols_and_axes():
+    chart = ascii_chart(
+        {"a": [(1.0, 1.0), (2.0, 2.0)], "b": [(1.0, 2.0), (2.0, 1.0)]},
+        width=20,
+        height=6,
+    )
+    assert "o" in chart
+    assert "x" in chart
+    assert "└" in chart
+    assert "o = a" in chart
+    assert "x = b" in chart
+
+
+def test_extremes_land_on_grid_corners():
+    chart = ascii_chart({"s": [(0.0, 0.0), (10.0, 10.0)]}, width=20, height=6)
+    lines = chart.splitlines()
+    top = lines[0]
+    bottom = lines[5]
+    assert top.strip().startswith("10")
+    assert top.rstrip().endswith("o")  # max point, top-right
+    assert bottom.split("┤")[1][0] == "o"  # min point, bottom-left
+
+
+def test_overlap_marker():
+    chart = ascii_chart(
+        {"a": [(1.0, 5.0)], "b": [(1.0, 5.0)], "pad": [(2.0, 0.0)]},
+        width=20,
+        height=6,
+    )
+    assert "@" in chart
+
+
+def test_log_axis_requires_positive_x():
+    with pytest.raises(ValueError):
+        ascii_chart({"a": [(0.0, 1.0), (1.0, 2.0)]}, log_x=True)
+
+
+def test_flat_series_does_not_crash():
+    chart = ascii_chart({"a": [(1.0, 3.0), (2.0, 3.0)]}, width=20, height=6)
+    assert "o" in chart
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ascii_chart({})
+    with pytest.raises(ValueError):
+        ascii_chart({"a": []})
+    with pytest.raises(ValueError):
+        ascii_chart({"a": [(1.0, 1.0)]}, width=5)
+
+
+def test_sweep_chart_end_to_end():
+    from repro.experiments import ExperimentConfig, frequency_sweep
+
+    base = ExperimentConfig(
+        n_nodes=12, target_blocks=10, target_key_blocks=4, cooldown=15.0
+    )
+    sweep = frequency_sweep(base, frequencies=(0.05, 0.5))
+    chart = sweep_chart(sweep, "mining_power_utilization")
+    assert "mining_power_utilization" in chart
+    assert "bitcoin" in chart
+    assert "bitcoin-ng" in chart

@@ -1,0 +1,63 @@
+"""Experiment configuration and derived quantities."""
+
+import pytest
+
+from repro.experiments.config import (
+    ExperimentConfig,
+    Protocol,
+    constant_throughput_block_size,
+)
+
+
+def test_duration_from_target_blocks():
+    config = ExperimentConfig(block_rate=0.1, target_blocks=60)
+    assert config.duration == pytest.approx(600.0)
+
+
+def test_ng_duration_covers_key_blocks():
+    config = ExperimentConfig(
+        protocol=Protocol.BITCOIN_NG,
+        block_rate=1.0,  # 60 microblocks = 60 s only...
+        target_blocks=60,
+        key_block_rate=0.01,
+        target_key_blocks=20,  # ...but 20 key blocks need 2000 s.
+    )
+    assert config.duration == pytest.approx(2000.0)
+
+
+def test_txs_per_block():
+    config = ExperimentConfig(block_size_bytes=4760, tx_size=476)
+    assert config.txs_per_block == 10
+
+
+def test_with_override():
+    base = ExperimentConfig()
+    changed = base.with_(n_nodes=42, seed=9)
+    assert changed.n_nodes == 42
+    assert changed.seed == 9
+    assert base.n_nodes != 42  # original untouched
+
+
+def test_constant_throughput_sizing():
+    # One 1 MB block every 10 minutes ≈ 3.5 tx/s at 476-byte txs.
+    size = constant_throughput_block_size(1.0 / 600.0)
+    assert size == pytest.approx(1_000_000, rel=0.01)
+    # Ten times the frequency → a tenth the size.
+    assert constant_throughput_block_size(1.0 / 60.0) == pytest.approx(
+        100_000, rel=0.01
+    )
+
+
+def test_constant_throughput_minimum_one_tx():
+    assert constant_throughput_block_size(100.0) == 476
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ExperimentConfig(n_nodes=1)
+    with pytest.raises(ValueError):
+        ExperimentConfig(block_rate=0)
+    with pytest.raises(ValueError):
+        ExperimentConfig(block_size_bytes=0)
+    with pytest.raises(ValueError):
+        ExperimentConfig(target_blocks=0)

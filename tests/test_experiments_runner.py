@@ -1,0 +1,106 @@
+"""End-to-end experiment runs at small scale (integration)."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, Protocol
+from repro.experiments.runner import build_network, run_experiment
+
+SMALL = ExperimentConfig(
+    n_nodes=25,
+    target_blocks=25,
+    target_key_blocks=8,
+    block_rate=0.05,
+    block_size_bytes=10_000,
+    cooldown=20.0,
+    seed=3,
+)
+
+
+@pytest.fixture(scope="module")
+def bitcoin_run():
+    return run_experiment(SMALL.with_(protocol=Protocol.BITCOIN))
+
+
+@pytest.fixture(scope="module")
+def ng_run():
+    return run_experiment(
+        SMALL.with_(protocol=Protocol.BITCOIN_NG, key_block_rate=0.02)
+    )
+
+
+def test_bitcoin_produces_blocks(bitcoin_run):
+    result, log = bitcoin_run
+    assert result.blocks_generated > 10
+    assert 1 <= result.main_chain_length <= result.blocks_generated
+
+
+def test_bitcoin_metric_ranges(bitcoin_run):
+    result, _ = bitcoin_run
+    assert 0 < result.mining_power_utilization <= 1.0
+    assert result.fairness > 0
+    assert result.consensus_delay >= 0
+    assert result.time_to_prune >= 0
+    assert result.time_to_win >= 0
+    assert result.transaction_frequency > 0
+
+
+def test_bitcoin_deterministic():
+    config = SMALL.with_(protocol=Protocol.BITCOIN)
+    first, _ = run_experiment(config)
+    second, _ = run_experiment(config)
+    assert first.as_row() == second.as_row()
+
+
+def test_seed_changes_outcome():
+    first, _ = run_experiment(SMALL.with_(protocol=Protocol.BITCOIN, seed=1))
+    second, _ = run_experiment(SMALL.with_(protocol=Protocol.BITCOIN, seed=2))
+    assert first.as_row() != second.as_row()
+
+
+def test_ng_has_both_block_kinds(ng_run):
+    _, log = ng_run
+    kinds = {info.kind for info in log.index.all_blocks()}
+    assert kinds == {"key", "micro"}
+
+
+def test_ng_utilization_optimal(ng_run):
+    # Microblock forks carry no work: utilization must be exactly the
+    # key-block main/total ratio, which stays near 1.
+    result, _ = ng_run
+    assert result.mining_power_utilization >= 0.9
+
+
+def test_ng_serializes_transactions(ng_run):
+    result, _ = ng_run
+    assert result.transaction_frequency > 0
+
+
+def test_ghost_runs():
+    result, log = run_experiment(SMALL.with_(protocol=Protocol.GHOST))
+    assert result.blocks_generated > 10
+    assert 0 < result.mining_power_utilization <= 1.0
+
+
+def test_network_matches_paper_shape():
+    from repro.net.simulator import Simulator
+
+    config = SMALL
+    sim = Simulator(seed=0)
+    network = build_network(config, sim)
+    assert network.topology.n_nodes == config.n_nodes
+    for node in range(config.n_nodes):
+        assert network.topology.degree(node) >= config.min_degree
+    assert network.topology.is_connected()
+
+
+def test_as_row_keys(bitcoin_run):
+    result, _ = bitcoin_run
+    row = result.as_row()
+    assert set(row) == {
+        "consensus_delay",
+        "fairness",
+        "mining_power_utilization",
+        "time_to_prune",
+        "time_to_win",
+        "transaction_frequency",
+    }

@@ -1,0 +1,47 @@
+"""Appendix A: the GHOST main-chain ambiguity construction."""
+
+from repro.ghost.ambiguity import build_appendix_a, no_view_matches_global
+
+
+def test_global_chain_goes_through_fork():
+    scenario = build_appendix_a()
+    labels = scenario.global_main_chain_labels()
+    # Globally, subtree(2') = 4 blocks beats subtree(2) = 3 blocks.
+    assert labels[:3] == ["0", "1", "2'"]
+
+
+def test_each_view_follows_long_chain():
+    scenario = build_appendix_a()
+    for node in range(3):
+        labels = scenario.view_main_chain_labels(node)
+        # Locally subtree(2)=3 > subtree(2')=2, so the view ends at 4.
+        assert labels == ["0", "1", "2", "3", "4"]
+
+
+def test_no_single_node_knows_the_main_chain():
+    scenario = build_appendix_a()
+    assert no_view_matches_global(scenario)
+
+
+def test_views_hold_exactly_one_sibling():
+    scenario = build_appendix_a()
+    for node, sibling in zip(range(3), ("3'", "3''", "3'''")):
+        view = scenario.node_views[node]
+        assert scenario.blocks[sibling].hash in view
+        others = {"3'", "3''", "3'''"} - {sibling}
+        for other in others:
+            assert scenario.blocks[other].hash not in view
+
+
+def test_union_of_views_resolves():
+    # Pooling all three views reconstructs the global choice — the
+    # paper's "propagate all blocks" fix.
+    scenario = build_appendix_a()
+    assert (
+        scenario.global_tree.main_chain()[:3]
+        == [
+            scenario.blocks["0"].hash,
+            scenario.blocks["1"].hash,
+            scenario.blocks["2'"].hash,
+        ]
+    )

@@ -1,0 +1,123 @@
+"""Mempool policy: conflicts, selection, eviction, seeding."""
+
+import pytest
+
+from repro.ledger.errors import MempoolError
+from repro.ledger.mempool import Mempool
+from repro.ledger.transactions import OutPoint, Transaction, TxInput, TxOutput
+
+DEST = bytes(20)
+
+
+def _tx(prev_byte, index=0, padding=b"", n_outputs=1):
+    return Transaction(
+        inputs=(TxInput(OutPoint(bytes([prev_byte]) * 32, index)),),
+        outputs=tuple(TxOutput(1, DEST) for _ in range(n_outputs)),
+        padding=padding,
+    )
+
+
+def test_add_and_get():
+    pool = Mempool()
+    tx = _tx(1)
+    pool.add(tx, fee=5)
+    assert tx.txid in pool
+    assert pool.get(tx.txid) == tx
+    assert len(pool) == 1
+
+
+def test_duplicate_rejected():
+    pool = Mempool()
+    tx = _tx(1)
+    pool.add(tx)
+    with pytest.raises(MempoolError):
+        pool.add(tx)
+
+
+def test_conflicting_spend_rejected():
+    pool = Mempool()
+    pool.add(_tx(1, padding=b"a"))
+    with pytest.raises(MempoolError):
+        pool.add(_tx(1, padding=b"b"))  # same outpoint, different tx
+
+
+def test_capacity_limit():
+    pool = Mempool(max_entries=2)
+    pool.add(_tx(1))
+    pool.add(_tx(2))
+    with pytest.raises(MempoolError):
+        pool.add(_tx(3))
+
+
+def test_remove_frees_outpoints():
+    pool = Mempool()
+    tx = _tx(1, padding=b"a")
+    pool.add(tx)
+    assert pool.remove(tx.txid) == tx
+    pool.add(_tx(1, padding=b"b"))  # no longer conflicts
+
+
+def test_remove_missing_returns_none():
+    assert Mempool().remove(b"\x00" * 32) is None
+
+
+def test_evict_conflicts_on_confirmation():
+    pool = Mempool()
+    pending = _tx(1, padding=b"loser")
+    pool.add(pending)
+    confirmed = _tx(1, padding=b"winner")
+    evicted = pool.evict_conflicts(confirmed)
+    assert evicted == [pending]
+    assert len(pool) == 0
+
+
+def test_evict_conflicts_removes_confirmed_itself():
+    pool = Mempool()
+    tx = _tx(1)
+    pool.add(tx)
+    assert pool.evict_conflicts(tx) == []
+    assert len(pool) == 0
+
+
+def test_select_by_fee_rate():
+    pool = Mempool()
+    cheap = _tx(1, padding=b"x" * 100)
+    rich = _tx(2)
+    pool.add(cheap, fee=10)
+    pool.add(rich, fee=10)  # same fee, smaller size → higher rate
+    selected = pool.select(max_bytes=10_000)
+    assert selected[0] == rich
+
+
+def test_select_respects_size_budget():
+    pool = Mempool()
+    for i in range(1, 6):
+        pool.add(_tx(i), fee=1)
+    tx_size = _tx(1).size
+    selected = pool.select(max_bytes=tx_size * 2)
+    assert len(selected) == 2
+
+
+def test_select_fifo_mode():
+    pool = Mempool()
+    first = _tx(1, padding=b"large" * 20)
+    second = _tx(2)
+    pool.add(first, fee=0)
+    pool.add(second, fee=100)
+    selected = pool.select(max_bytes=10_000, by_fee_rate=False)
+    assert selected[0] == first  # insertion order kept
+
+
+def test_seed_bulk_load():
+    pool = Mempool()
+    txs = [_tx(i) for i in range(1, 11)]
+    pool.seed(txs)
+    assert len(pool) == 10
+
+
+def test_clear():
+    pool = Mempool()
+    pool.add(_tx(1))
+    pool.clear()
+    assert len(pool) == 0
+    pool.add(_tx(1))  # outpoint index also cleared

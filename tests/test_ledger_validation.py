@@ -1,0 +1,123 @@
+"""Full spend validation: structure, value, ownership signatures."""
+
+import pytest
+
+from repro.crypto.hashing import hash160
+from repro.crypto.keys import PrivateKey
+from repro.ledger.errors import BadSignature, MalformedTransaction, ValueError_
+from repro.ledger.transactions import (
+    OutPoint,
+    Transaction,
+    TxInput,
+    TxOutput,
+)
+from repro.ledger.utxo import UtxoSet
+from repro.ledger.validation import (
+    check_transaction,
+    compute_fee,
+    validate_spend,
+    verify_input_signatures,
+)
+
+OWNER = PrivateKey.from_seed("owner")
+THIEF = PrivateKey.from_seed("thief")
+OWNER_PKH = hash160(OWNER.public_key().to_bytes())
+DEST = bytes(range(20, 40))
+COIN_OUTPOINT = OutPoint(b"\xdd" * 32, 0)
+
+
+def _utxo(value=100):
+    utxo = UtxoSet()
+    utxo.credit(TxOutput(value, OWNER_PKH), COIN_OUTPOINT, height=0)
+    return utxo
+
+
+def _spend(value_out=90, key=OWNER, sign=True):
+    tx = Transaction(
+        inputs=(TxInput(COIN_OUTPOINT),),
+        outputs=(TxOutput(value_out, DEST),),
+    )
+    if sign:
+        tx = tx.sign_input(0, key)
+    return tx
+
+
+def test_valid_spend_returns_fee():
+    assert validate_spend(_spend(90), _utxo(100), height=1) == 10
+
+
+def test_zero_fee_spend_valid():
+    assert validate_spend(_spend(100), _utxo(100), height=1) == 0
+
+
+def test_overspend_rejected():
+    with pytest.raises(ValueError_):
+        validate_spend(_spend(101), _utxo(100), height=1)
+
+
+def test_unsigned_spend_rejected():
+    with pytest.raises(BadSignature):
+        validate_spend(_spend(sign=False), _utxo(), height=1)
+
+
+def test_wrong_key_rejected():
+    with pytest.raises(BadSignature):
+        validate_spend(_spend(key=THIEF), _utxo(), height=1)
+
+
+def test_signature_check_can_be_disabled():
+    # The paper's testbed mode: ownership still enforced structurally
+    # elsewhere, but no ECDSA work.
+    fee = validate_spend(
+        _spend(sign=False), _utxo(), height=1, check_signatures=False
+    )
+    assert fee == 10
+
+
+def test_tampered_outputs_invalidate_signature():
+    tx = _spend(90)
+    tampered = Transaction(tx.inputs, (TxOutput(90, bytes(20)),), tx.padding)
+    with pytest.raises(BadSignature):
+        validate_spend(tampered, _utxo(), height=1)
+
+
+def test_coinbase_cannot_be_validated_as_spend():
+    from repro.ledger.transactions import make_coinbase
+
+    with pytest.raises(MalformedTransaction):
+        validate_spend(make_coinbase([(DEST, 1)]), _utxo(), height=1)
+
+
+def test_check_transaction_rejects_duplicate_inputs():
+    tx = Transaction(
+        inputs=(TxInput(COIN_OUTPOINT), TxInput(COIN_OUTPOINT)),
+        outputs=(TxOutput(1, DEST),),
+    )
+    with pytest.raises(MalformedTransaction):
+        check_transaction(tx)
+
+
+def test_check_transaction_rejects_oversize():
+    tx = Transaction(
+        inputs=(),
+        outputs=(TxOutput(1, DEST),),
+        padding=b"\x00" * 200_000,
+    )
+    with pytest.raises(MalformedTransaction):
+        check_transaction(tx)
+
+
+def test_verify_input_signatures_needs_known_coin():
+    tx = _spend()
+    with pytest.raises(BadSignature):
+        verify_input_signatures(tx, UtxoSet())
+
+
+def test_compute_fee():
+    assert compute_fee(_spend(75), _utxo(100), height=1) == 25
+
+
+def test_compute_fee_coinbase_is_zero():
+    from repro.ledger.transactions import make_coinbase
+
+    assert compute_fee(make_coinbase([(DEST, 5)]), _utxo(), height=1) == 0

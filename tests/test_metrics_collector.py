@@ -1,0 +1,110 @@
+"""Observation log and block index plumbing."""
+
+import pytest
+
+from repro.metrics.collector import BlockIndex, BlockInfo, ObservationLog, TipHistory
+
+
+def _info(h, parent, miner=0, t=0.0, work=1, kind="block", n_tx=0, size=100):
+    return BlockInfo(h, parent, miner, t, work, kind, n_tx, size)
+
+
+def test_index_heights_and_work():
+    index = BlockIndex()
+    index.add(_info(b"a", b"genesis", work=2))
+    index.add(_info(b"b", b"a", work=2))
+    assert index.height(b"a") == 0
+    assert index.height(b"b") == 1
+    assert index.cumulative_work(b"b") == 4
+    assert index.cumulative_work(b"missing") == 0
+
+
+def test_index_rejects_duplicates():
+    index = BlockIndex()
+    index.add(_info(b"a", b"g"))
+    with pytest.raises(ValueError):
+        index.add(_info(b"a", b"g"))
+
+
+def test_chain_reconstruction():
+    index = BlockIndex()
+    index.add(_info(b"a", b"g"))
+    index.add(_info(b"b", b"a"))
+    index.add(_info(b"c", b"b"))
+    assert index.chain(b"c") == (b"a", b"b", b"c")
+    assert index.chain(b"a") == (b"a",)
+    assert index.chain(b"unknown") == ()
+
+
+def test_chain_memoization_shares_prefixes():
+    index = BlockIndex()
+    index.add(_info(b"a", b"g"))
+    index.add(_info(b"b", b"a"))
+    index.add(_info(b"c", b"b"))
+    index.add(_info(b"d", b"b"))  # sibling of c
+    assert index.chain(b"c")[:2] == index.chain(b"d")[:2]
+
+
+def test_is_ancestor():
+    index = BlockIndex()
+    index.add(_info(b"a", b"g"))
+    index.add(_info(b"b", b"a"))
+    index.add(_info(b"x", b"a"))
+    assert index.is_ancestor(b"a", b"b")
+    assert index.is_ancestor(b"b", b"b")
+    assert not index.is_ancestor(b"b", b"x")
+    assert not index.is_ancestor(b"unknown", b"b")
+
+
+def test_tip_history_queries():
+    history = TipHistory()
+    history.record(0.0, b"g")
+    history.record(5.0, b"a")
+    history.record(9.0, b"b")
+    assert history.tip_at(-1.0) is None
+    assert history.tip_at(0.0) == b"g"
+    assert history.tip_at(7.0) == b"a"
+    assert history.tip_at(100.0) == b"b"
+
+
+def test_tip_history_requires_order():
+    history = TipHistory()
+    history.record(5.0, b"a")
+    with pytest.raises(ValueError):
+        history.record(4.0, b"b")
+
+
+def test_arrival_records_first_only():
+    log = ObservationLog(2)
+    log.record_arrival(0, b"a", 1.0)
+    log.record_arrival(0, b"a", 5.0)
+    assert log.arrival_time(0, b"a") == 1.0
+    assert log.arrival_time(1, b"a") is None
+
+
+def test_final_consensus_tip_majority():
+    log = ObservationLog(3)
+    log.index.add(_info(b"a", b"g"))
+    log.index.add(_info(b"b", b"g"))
+    log.record_tip(0, b"a", 1.0)
+    log.record_tip(1, b"a", 1.0)
+    log.record_tip(2, b"b", 1.0)
+    log.finalize(10.0)
+    assert log.final_consensus_tip() == b"a"
+    assert log.main_chain() == (b"a",)
+
+
+def test_final_consensus_tip_work_tiebreak():
+    log = ObservationLog(2)
+    log.index.add(_info(b"light", b"g", work=1))
+    log.index.add(_info(b"heavy", b"g", work=5))
+    log.record_tip(0, b"light", 1.0)
+    log.record_tip(1, b"heavy", 1.0)
+    log.finalize(10.0)
+    assert log.final_consensus_tip() == b"heavy"
+
+
+def test_duration():
+    log = ObservationLog(1)
+    log.finalize(42.0)
+    assert log.duration == 42.0

@@ -1,0 +1,81 @@
+"""The (ε, δ) consensus delay metric on hand-built executions."""
+
+import pytest
+
+from repro.metrics.collector import BlockInfo, ObservationLog
+from repro.metrics.consensus_delay import consensus_delay, point_consensus_delay
+
+
+def _info(h, parent, t, miner=0):
+    return BlockInfo(h, parent, miner, t, 1, "block", 0, 100)
+
+
+def _agreed_log():
+    """Three nodes in perfect agreement on a / b."""
+    log = ObservationLog(3)
+    log.index.add(_info(b"a", b"g", 1.0))
+    log.index.add(_info(b"b", b"a", 2.0))
+    for node in range(3):
+        log.record_tip(node, b"a", 1.1)
+        log.record_tip(node, b"b", 2.1)
+    log.finalize(10.0)
+    return log
+
+
+def test_full_agreement_zero_delay():
+    log = _agreed_log()
+    assert point_consensus_delay(log, 5.0, epsilon=1.0) == 0.0
+
+
+def test_disagreement_reaches_back_to_fork():
+    log = ObservationLog(2)
+    log.index.add(_info(b"a", b"g", 1.0))
+    log.index.add(_info(b"b1", b"a", 3.0))
+    log.index.add(_info(b"b2", b"a", 3.5))
+    log.record_tip(0, b"a", 1.0)
+    log.record_tip(1, b"a", 1.0)
+    log.record_tip(0, b"b1", 3.0)
+    log.record_tip(1, b"b2", 3.5)
+    log.finalize(10.0)
+    # Both nodes only agree on the prefix ending at a (gen 1.0).
+    assert point_consensus_delay(log, 5.0, epsilon=1.0) == pytest.approx(4.0)
+
+
+def test_epsilon_majority_ignores_straggler():
+    log = ObservationLog(3)
+    log.index.add(_info(b"a", b"g", 1.0))
+    log.index.add(_info(b"b", b"a", 2.0))
+    log.index.add(_info(b"x", b"a", 2.5))
+    for node in (0, 1):
+        log.record_tip(node, b"a", 1.0)
+        log.record_tip(node, b"b", 2.0)
+    log.record_tip(2, b"a", 1.0)
+    log.record_tip(2, b"x", 2.5)  # the straggler on a fork
+    log.finalize(10.0)
+    # 2/3 of nodes agree up to now; all three only up to a.
+    assert point_consensus_delay(log, 5.0, epsilon=0.6) == 0.0
+    assert point_consensus_delay(log, 5.0, epsilon=1.0) == pytest.approx(4.0)
+
+
+def test_before_any_blocks_trivial_agreement():
+    log = ObservationLog(2)
+    log.record_tip(0, b"g", 0.0)
+    log.record_tip(1, b"g", 0.0)
+    log.finalize(10.0)
+    # Genesis-only chains agree on the empty prefix at any τ.
+    assert point_consensus_delay(log, 5.0, epsilon=1.0) == 0.0
+
+
+def test_consensus_delay_percentile():
+    log = _agreed_log()
+    assert consensus_delay(log, epsilon=1.0, delta=0.9, n_samples=10) == 0.0
+
+
+def test_consensus_delay_validation():
+    log = _agreed_log()
+    with pytest.raises(ValueError):
+        point_consensus_delay(log, 5.0, epsilon=0.0)
+    with pytest.raises(ValueError):
+        consensus_delay(log, delta=0.0)
+    with pytest.raises(ValueError):
+        consensus_delay(log, n_samples=0)

@@ -1,0 +1,85 @@
+"""Trace export/import: metrics survive the round trip exactly."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, Protocol, run_experiment
+from repro.metrics import (
+    consensus_delay,
+    fairness,
+    mining_power_utilization,
+    time_to_prune,
+    time_to_win,
+    transaction_frequency,
+)
+from repro.metrics.export import (
+    TraceFormatError,
+    load_trace,
+    log_from_dict,
+    log_to_dict,
+    save_trace,
+)
+
+CONFIG = ExperimentConfig(
+    protocol=Protocol.BITCOIN,
+    n_nodes=20,
+    block_rate=0.1,
+    block_size_bytes=5000,
+    target_blocks=25,
+    cooldown=20.0,
+    seed=6,
+)
+
+
+@pytest.fixture(scope="module")
+def executed():
+    return run_experiment(CONFIG)
+
+
+def test_roundtrip_preserves_all_metrics(executed, tmp_path):
+    result, log = executed
+    path = tmp_path / "trace.json"
+    save_trace(log, path)
+    restored = load_trace(path)
+    assert restored.n_nodes == log.n_nodes
+    assert restored.duration == log.duration
+    assert restored.main_chain() == log.main_chain()
+    assert mining_power_utilization(restored) == pytest.approx(
+        result.mining_power_utilization
+    )
+    assert fairness(restored) == pytest.approx(fairness(log))
+    assert transaction_frequency(restored) == pytest.approx(
+        result.transaction_frequency
+    )
+    assert time_to_prune(restored) == pytest.approx(result.time_to_prune)
+    assert time_to_win(restored) == pytest.approx(result.time_to_win)
+    assert consensus_delay(restored) == pytest.approx(result.consensus_delay)
+
+
+def test_dict_roundtrip(executed):
+    _, log = executed
+    restored = log_from_dict(log_to_dict(log))
+    assert len(restored.index) == len(log.index)
+    assert restored.arrivals == log.arrivals
+
+
+def test_version_check(executed):
+    _, log = executed
+    data = log_to_dict(log)
+    data["version"] = 99
+    with pytest.raises(TraceFormatError):
+        log_from_dict(data)
+
+
+def test_malformed_trace_rejected(executed):
+    _, log = executed
+    data = log_to_dict(log)
+    del data["blocks"]
+    with pytest.raises(TraceFormatError):
+        log_from_dict(data)
+
+
+def test_invalid_json_rejected(tmp_path):
+    path = tmp_path / "junk.json"
+    path.write_text("{not json")
+    with pytest.raises(TraceFormatError):
+        load_trace(path)

@@ -1,0 +1,86 @@
+"""Difficulty retargeting and power-drop dynamics (Section 5.2)."""
+
+import pytest
+
+from repro.crypto.pow import GENESIS_TARGET
+from repro.mining.difficulty import (
+    BITCOIN_RETARGET_WINDOW,
+    EpochRetargeter,
+    PerBlockRetargeter,
+    expected_block_interval,
+    recovery_blocks,
+)
+
+
+def test_on_schedule_window_keeps_target():
+    retargeter = EpochRetargeter(spacing=600, window=2016)
+    new = retargeter.retarget(GENESIS_TARGET, window_duration=600 * 2016)
+    assert new == pytest.approx(GENESIS_TARGET, rel=1e-6)
+
+
+def test_slow_window_eases_target():
+    retargeter = EpochRetargeter(spacing=600, window=2016)
+    new = retargeter.retarget(GENESIS_TARGET, window_duration=2 * 600 * 2016)
+    assert new == pytest.approx(GENESIS_TARGET * 2, rel=1e-6)
+
+
+def test_fast_window_tightens_target():
+    retargeter = EpochRetargeter(spacing=600, window=2016)
+    new = retargeter.retarget(GENESIS_TARGET, window_duration=600 * 2016 / 2)
+    assert new == pytest.approx(GENESIS_TARGET // 2, rel=1e-6)
+
+
+def test_adjustment_clamped_at_4x():
+    retargeter = EpochRetargeter(spacing=600, window=2016)
+    toolong = retargeter.retarget(GENESIS_TARGET, window_duration=600 * 2016 * 100)
+    assert toolong == GENESIS_TARGET * 4
+    tooshort = retargeter.retarget(GENESIS_TARGET, window_duration=1)
+    assert tooshort == GENESIS_TARGET // 4
+
+
+def test_retarget_heights():
+    retargeter = EpochRetargeter(window=2016)
+    assert not retargeter.should_retarget(0)
+    assert not retargeter.should_retarget(2015)
+    assert retargeter.should_retarget(2016)
+    assert retargeter.should_retarget(4032)
+
+
+def test_per_block_retargeter_direction():
+    retargeter = PerBlockRetargeter(spacing=12)
+    faster = retargeter.retarget(GENESIS_TARGET, last_interval=6)
+    slower = retargeter.retarget(GENESIS_TARGET, last_interval=24)
+    assert faster < GENESIS_TARGET < slower
+
+
+def test_power_drop_stretches_interval():
+    # Half the miners leave → blocks take twice as long until retarget.
+    assert expected_block_interval(1 / 600, 0.5) == pytest.approx(1200)
+    # A 90% drop: 10x stall, the alt-coin death spiral.
+    assert expected_block_interval(1 / 600, 0.1) == pytest.approx(6000)
+
+
+def test_recovery_blocks():
+    # Drop to 1/4 power: one clamped epoch suffices (4x easing).
+    assert recovery_blocks(2016, 4.0, 0.25) == 2016
+    # Drop to 1/16: two epochs.
+    assert recovery_blocks(2016, 4.0, 1 / 16) == 2 * 2016
+    # No drop, no recovery needed.
+    assert recovery_blocks(2016, 4.0, 1.0) == 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        EpochRetargeter(spacing=0)
+    with pytest.raises(ValueError):
+        EpochRetargeter().retarget(GENESIS_TARGET, window_duration=0)
+    with pytest.raises(ValueError):
+        expected_block_interval(0, 0.5)
+    with pytest.raises(ValueError):
+        expected_block_interval(1, 0)
+    with pytest.raises(ValueError):
+        recovery_blocks(2016, 1.0, 0.5)
+
+
+def test_bitcoin_constants():
+    assert BITCOIN_RETARGET_WINDOW == 2016

@@ -1,0 +1,65 @@
+"""Synthetic pool data: the Figure 6 reproduction machinery."""
+
+import pytest
+
+from repro.mining.pools import (
+    UNIDENTIFIED_FRACTION,
+    WeeklyShares,
+    fit_rank_medians,
+    generate_year,
+    rank_statistics,
+)
+
+
+def test_generate_year_shape():
+    weeks = generate_year(n_pools=20, n_weeks=52)
+    assert len(weeks) == 52
+    assert all(len(week.shares) == 20 for week in weeks)
+
+
+def test_weekly_shares_ranked():
+    for week in generate_year(n_weeks=10):
+        assert list(week.shares) == sorted(week.shares, reverse=True)
+
+
+def test_identified_mass_excludes_unknowns():
+    for week in generate_year(n_weeks=5):
+        assert sum(week.shares) == pytest.approx(1.0 - UNIDENTIFIED_FRACTION)
+
+
+def test_fit_recovers_paper_numbers():
+    # The headline calibration: exponent ≈ −0.27, R² ≥ 0.99.
+    exponent, r_squared = fit_rank_medians(generate_year())
+    assert exponent == pytest.approx(-0.27, abs=0.03)
+    assert r_squared >= 0.99
+
+
+def test_rank_statistics_quartiles_ordered():
+    stats = rank_statistics(generate_year(), max_rank=20)
+    assert len(stats) == 20
+    for entry in stats:
+        assert entry["p25"] <= entry["p50"] <= entry["p75"]
+
+
+def test_rank_statistics_decreasing_medians():
+    stats = rank_statistics(generate_year(), max_rank=20)
+    medians = [entry["p50"] for entry in stats]
+    assert medians == sorted(medians, reverse=True)
+
+
+def test_share_at_rank_bounds():
+    week = WeeklyShares(0, (0.5, 0.3))
+    assert week.share_at_rank(1) == 0.5
+    assert week.share_at_rank(3) == 0.0
+    with pytest.raises(ValueError):
+        week.share_at_rank(0)
+
+
+def test_deterministic_generation():
+    assert generate_year(seed=42) == generate_year(seed=42)
+    assert generate_year(seed=42) != generate_year(seed=43)
+
+
+def test_rank_statistics_requires_data():
+    with pytest.raises(ValueError):
+        rank_statistics([])

@@ -1,0 +1,108 @@
+"""The exponential mining scheduler."""
+
+import pytest
+
+from repro.mining.scheduler import MiningScheduler
+from repro.net.simulator import Simulator
+
+
+def _run(powers, rate, duration, seed=0):
+    sim = Simulator(seed=seed)
+    wins = []
+    sched = MiningScheduler(sim, powers, rate, on_block=wins.append)
+    sched.start()
+    sim.run(until=duration)
+    sched.stop()
+    return sched, wins
+
+
+def test_block_rate_respected():
+    _, wins = _run([1.0], rate=0.1, duration=10_000)
+    assert len(wins) == pytest.approx(1000, rel=0.15)
+
+
+def test_wins_proportional_to_power():
+    sched, wins = _run([3.0, 1.0], rate=1.0, duration=20_000)
+    big = wins.count(0)
+    small = wins.count(1)
+    assert big / (big + small) == pytest.approx(0.75, abs=0.02)
+
+
+def test_zero_power_miner_never_wins():
+    _, wins = _run([1.0, 0.0], rate=1.0, duration=1000)
+    assert 1 not in wins
+
+
+def test_intervals_exponential():
+    sim = Simulator(seed=3)
+    times = []
+    sched = MiningScheduler(sim, [1.0], 0.5, on_block=lambda _: times.append(sim.now))
+    sched.start()
+    sim.run(until=40_000)
+    sched.stop()
+    intervals = [b - a for a, b in zip(times, times[1:])]
+    mean = sum(intervals) / len(intervals)
+    assert mean == pytest.approx(2.0, rel=0.1)
+    # Memoryless: the coefficient of variation of Exp is 1.
+    var = sum((x - mean) ** 2 for x in intervals) / len(intervals)
+    assert var**0.5 / mean == pytest.approx(1.0, rel=0.15)
+
+
+def test_stop_cancels_pending():
+    sim = Simulator(seed=0)
+    wins = []
+    sched = MiningScheduler(sim, [1.0], 1.0, on_block=wins.append)
+    sched.start()
+    sched.stop()
+    sim.run()
+    assert wins == []
+
+
+def test_set_block_rate_mid_run():
+    sim = Simulator(seed=1)
+    times = []
+    sched = MiningScheduler(sim, [1.0], 0.01, on_block=lambda _: times.append(sim.now))
+    sched.start()
+    sim.run(until=100)
+    sched.set_block_rate(10.0)
+    sim.run(until=110)
+    sched.stop()
+    fast = [t for t in times if t > 100]
+    assert len(fast) == pytest.approx(100, rel=0.3)
+
+
+def test_set_power_shifts_wins():
+    sim = Simulator(seed=2)
+    wins = []
+    sched = MiningScheduler(sim, [1.0, 1.0], 1.0, on_block=wins.append)
+    sched.start()
+    sim.run(until=1000)
+    sched.set_power(1, 0.0)
+    marker = len(wins)
+    sim.run(until=3000)
+    sched.stop()
+    assert 1 not in wins[marker:]
+    assert sched.power_share(0) == 1.0
+
+
+def test_win_counters():
+    sched, wins = _run([1.0, 1.0], 1.0, 500)
+    assert sched.blocks_triggered == len(wins)
+    assert sched.wins_by_miner[0] + sched.wins_by_miner[1] == len(wins)
+
+
+def test_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        MiningScheduler(sim, [], 1.0, lambda _: None)
+    with pytest.raises(ValueError):
+        MiningScheduler(sim, [-1.0], 1.0, lambda _: None)
+    with pytest.raises(ValueError):
+        MiningScheduler(sim, [0.0], 1.0, lambda _: None)
+    with pytest.raises(ValueError):
+        MiningScheduler(sim, [1.0], 0.0, lambda _: None)
+    sched = MiningScheduler(sim, [1.0], 1.0, lambda _: None)
+    with pytest.raises(ValueError):
+        sched.set_block_rate(-1.0)
+    with pytest.raises(ValueError):
+        sched.set_power(0, -2.0)

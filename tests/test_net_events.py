@@ -1,0 +1,57 @@
+"""Event queue ordering and cancellation."""
+
+import pytest
+
+from repro.net.events import EventQueue
+
+
+def test_fires_in_time_order():
+    queue = EventQueue()
+    order = []
+    queue.push(3.0, lambda: order.append("c"))
+    queue.push(1.0, lambda: order.append("a"))
+    queue.push(2.0, lambda: order.append("b"))
+    while (event := queue.pop()) is not None:
+        event.callback()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fifo():
+    queue = EventQueue()
+    order = []
+    for label in "abc":
+        queue.push(1.0, lambda lbl=label: order.append(lbl))
+    while (event := queue.pop()) is not None:
+        event.callback()
+    assert order == ["a", "b", "c"]
+
+
+def test_cancelled_events_skipped():
+    queue = EventQueue()
+    fired = []
+    keep = queue.push(1.0, lambda: fired.append("keep"))
+    drop = queue.push(0.5, lambda: fired.append("drop"))
+    drop.cancel()
+    while (event := queue.pop()) is not None:
+        event.callback()
+    assert fired == ["keep"]
+
+
+def test_peek_time_skips_cancelled():
+    queue = EventQueue()
+    early = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    early.cancel()
+    assert queue.peek_time() == 2.0
+
+
+def test_empty_queue():
+    queue = EventQueue()
+    assert queue.pop() is None
+    assert queue.peek_time() is None
+    assert len(queue) == 0
+
+
+def test_negative_time_rejected():
+    with pytest.raises(ValueError):
+        EventQueue().push(-1.0, lambda: None)

@@ -1,0 +1,74 @@
+"""Latency histogram construction and sampling."""
+
+import random
+
+import pytest
+
+from repro.net.latency import (
+    LatencyHistogram,
+    constant_histogram,
+    default_histogram,
+)
+
+
+def test_from_samples_roundtrip():
+    samples = [0.05, 0.10, 0.10, 0.20, 0.30]
+    hist = LatencyHistogram.from_samples(samples, n_bins=5)
+    assert sum(hist.counts) == len(samples)
+
+
+def test_sampling_within_range():
+    hist = LatencyHistogram.from_samples([0.1, 0.2, 0.3], n_bins=4)
+    rng = random.Random(0)
+    for _ in range(200):
+        value = hist.sample(rng)
+        assert 0.1 <= value <= 0.3
+
+
+def test_sampling_follows_mass():
+    # 90% of mass in the low bin → most samples low.
+    hist = LatencyHistogram([0.0, 1.0, 2.0], [90, 10])
+    rng = random.Random(1)
+    low = sum(1 for _ in range(2000) if hist.sample(rng) < 1.0)
+    assert 1650 <= low <= 1950
+
+
+def test_quantiles_ordered():
+    hist = default_histogram()
+    assert hist.quantile(0.25) <= hist.quantile(0.5) <= hist.quantile(0.9)
+
+
+def test_default_histogram_realistic():
+    hist = default_histogram()
+    median = hist.quantile(0.5)
+    assert 0.05 <= median <= 0.2  # around 110 ms
+    assert hist.quantile(0.99) <= 0.45  # clipped tail
+    assert hist.mean() > 0
+
+
+def test_default_histogram_deterministic():
+    a = default_histogram(seed=5)
+    b = default_histogram(seed=5)
+    assert a.counts == b.counts
+    assert a.bin_edges == b.bin_edges
+
+
+def test_constant_histogram():
+    hist = constant_histogram(0.1)
+    rng = random.Random(0)
+    assert hist.sample(rng) == pytest.approx(0.1, rel=1e-6)
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        LatencyHistogram([0.0, 1.0], [1, 2])  # edge/count mismatch
+    with pytest.raises(ValueError):
+        LatencyHistogram([0.0, 1.0], [0])  # empty mass
+    with pytest.raises(ValueError):
+        LatencyHistogram([1.0, 0.5], [1])  # non-increasing edges
+    with pytest.raises(ValueError):
+        LatencyHistogram.from_samples([])
+    with pytest.raises(ValueError):
+        constant_histogram(0.0)
+    with pytest.raises(ValueError):
+        default_histogram().quantile(1.5)

@@ -1,0 +1,78 @@
+"""Link bandwidth, latency, and FIFO queuing."""
+
+import pytest
+
+from repro.net.links import Link
+
+
+def test_latency_only_for_empty_message():
+    link = Link(latency=0.1, bandwidth=1000)
+    assert link.transfer(now=0.0, size_bytes=0) == pytest.approx(0.1)
+
+
+def test_serialization_delay_proportional_to_size():
+    link = Link(latency=0.0, bandwidth=1000)
+    assert link.transfer(0.0, 500) == pytest.approx(0.5)
+
+
+def test_fifo_queuing_for_bulk_messages():
+    link = Link(latency=0.1, bandwidth=1000)
+    first = link.transfer(0.0, 2000)  # serializes until t=2.0
+    second = link.transfer(0.0, 2000)  # queued behind, until t=4.0
+    assert first == pytest.approx(2.1)
+    assert second == pytest.approx(4.1)
+
+
+def test_small_messages_interleave_with_bulk():
+    # A key-block-sized message does not wait out an 80 kB microblock:
+    # packet-level interleaving, as on a real TCP link.
+    link = Link(latency=0.1, bandwidth=12_500)
+    bulk = link.transfer(0.0, 80_000)  # occupies the link until t=6.4
+    urgent = link.transfer(1.0, 200)
+    assert bulk == pytest.approx(6.5)
+    assert urgent == pytest.approx(1.0 + 200 / 12_500 + 0.1)
+
+
+def test_interleave_cutoff_configurable():
+    strict = Link(latency=0.0, bandwidth=1000, interleave_cutoff=0)
+    strict.transfer(0.0, 100)  # even tiny messages queue
+    assert strict.transfer(0.0, 100) == pytest.approx(0.2)
+
+
+def test_idle_link_resets():
+    link = Link(latency=0.0, bandwidth=1000)
+    link.transfer(0.0, 2000)  # busy until 2.0
+    later = link.transfer(5.0, 2000)  # link long idle
+    assert later == pytest.approx(7.0)
+
+
+def test_queue_delay():
+    link = Link(latency=0.0, bandwidth=100)
+    link.transfer(0.0, 2000)  # busy until 20.0
+    assert link.queue_delay(0.5) == pytest.approx(19.5)
+    assert link.queue_delay(25.0) == 0.0
+
+
+def test_statistics():
+    link = Link(latency=0.0, bandwidth=100)
+    link.transfer(0.0, 10)
+    link.transfer(0.0, 20)
+    assert link.bytes_sent == 30
+    assert link.messages_sent == 2
+
+
+def test_paper_bandwidth_figure():
+    # 100 kbit/s: a 1 MB block takes ~80 s per hop — the core tension
+    # the paper's Figure 7 measures.
+    link = Link(latency=0.0)
+    arrival = link.transfer(0.0, 1_000_000)
+    assert arrival == pytest.approx(80.0, rel=0.01)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Link(latency=-0.1)
+    with pytest.raises(ValueError):
+        Link(latency=0.1, bandwidth=0)
+    with pytest.raises(ValueError):
+        Link(latency=0.1).transfer(0.0, -1)

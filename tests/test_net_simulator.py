@@ -1,0 +1,83 @@
+"""Simulator clock, scheduling, determinism."""
+
+import pytest
+
+from repro.net.simulator import Simulator
+
+
+def test_time_advances_with_events():
+    sim = Simulator()
+    seen = []
+    sim.schedule(5.0, lambda: seen.append(sim.now))
+    sim.schedule(2.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [2.0, 5.0]
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10.0, lambda: fired.append(1))
+    sim.run(until=5.0)
+    assert fired == []
+    assert sim.now == 5.0
+    sim.run()
+    assert fired == [1]
+
+
+def test_events_scheduled_during_run():
+    sim = Simulator()
+    seen = []
+
+    def chain(depth):
+        seen.append(sim.now)
+        if depth > 0:
+            sim.schedule(1.0, lambda: chain(depth - 1))
+
+    sim.schedule(0.0, lambda: chain(3))
+    sim.run()
+    assert seen == [0.0, 1.0, 2.0, 3.0]
+
+
+def test_max_events_bound():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule(1.0, forever)
+
+    sim.schedule(0.0, forever)
+    sim.run(max_events=10)
+    assert sim.events_processed == 10
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        Simulator().schedule(-1.0, lambda: None)
+
+
+def test_seeded_rng_deterministic():
+    a = Simulator(seed=99)
+    b = Simulator(seed=99)
+    assert [a.exponential(1.0) for _ in range(5)] == [
+        b.exponential(1.0) for _ in range(5)
+    ]
+
+
+def test_exponential_mean():
+    sim = Simulator(seed=1)
+    samples = [sim.exponential(0.1) for _ in range(20_000)]
+    mean = sum(samples) / len(samples)
+    assert mean == pytest.approx(10.0, rel=0.05)
+
+
+def test_exponential_rejects_bad_rate():
+    with pytest.raises(ValueError):
+        Simulator().exponential(0.0)

@@ -1,0 +1,143 @@
+"""Property-based tests: fork-choice invariants under random block DAGs."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitcoin.blocks import SyntheticPayload, build_block, make_genesis
+from repro.bitcoin.chain import BlockTree, TieBreak
+from repro.core.chain import NGChain
+from repro.core.genesis import make_ng_genesis
+from repro.core.params import NGParams
+from repro.ghost.chain import GhostTree
+
+GENESIS = make_genesis()
+
+
+def _block(prev, salt):
+    return build_block(
+        prev_hash=prev,
+        payload=SyntheticPayload(n_tx=0, salt=salt),
+        timestamp=0.0,
+        bits=0x207FFFFF,
+        miner_id=0,
+        reward=0,
+    )
+
+
+def _random_dag(seed, n_blocks):
+    """Blocks whose parents are chosen randomly among earlier blocks."""
+    rng = random.Random(seed)
+    blocks = [GENESIS]
+    out = []
+    for i in range(n_blocks):
+        parent = rng.choice(blocks)
+        block = _block(parent.hash, bytes([i, seed % 256]))
+        blocks.append(block)
+        out.append(block)
+    return out
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000), st.integers(1, 25), st.integers(0, 100))
+def test_bitcoin_tree_invariants_any_arrival_order(seed, n_blocks, shuffle_seed):
+    """Whatever the arrival order (orphans included), the tree ends
+    consistent, with the heaviest tip and every block connected."""
+    blocks = _random_dag(seed, n_blocks)
+    arrival = list(blocks)
+    random.Random(shuffle_seed).shuffle(arrival)
+    tree = BlockTree(GENESIS, tie_break=TieBreak.FIRST_SEEN)
+    for t, block in enumerate(arrival):
+        tree.add_block(block, float(t))
+    assert len(tree) == n_blocks + 1  # all adopted
+    assert tree.orphan_count() == 0
+    tree.assert_consistent()
+    # Tip height equals the DAG's maximal depth.
+    max_height = max(tree.height_of(b.hash) for b in blocks)
+    assert tree.height_of(tree.tip) == max_height
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000), st.integers(1, 20), st.integers(0, 100))
+def test_ghost_tree_invariants_any_arrival_order(seed, n_blocks, shuffle_seed):
+    blocks = _random_dag(seed, n_blocks)
+    arrival = list(blocks)
+    random.Random(shuffle_seed).shuffle(arrival)
+    tree = GhostTree(GENESIS, tie_break=TieBreak.FIRST_SEEN)
+    for t, block in enumerate(arrival):
+        tree.add_block(block, float(t))
+    assert len(tree) == n_blocks + 1
+    tree.assert_consistent()
+    # Genesis subtree holds all the work.
+    unit = blocks[0].header.work
+    assert tree.subtree_work(GENESIS.hash) == n_blocks * unit
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000), st.integers(1, 10))
+def test_bitcoin_main_chain_is_heaviest_path(seed, n_blocks):
+    blocks = _random_dag(seed, n_blocks)
+    tree = BlockTree(GENESIS)
+    for t, block in enumerate(blocks):
+        tree.add_block(block, float(t))
+    tip_work = tree.work_of(tree.tip)
+    for block in blocks:
+        assert tree.work_of(block.hash) <= tip_work
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 5_000), st.integers(1, 12), st.integers(0, 50))
+def test_ng_chain_invariants_random_epochs(seed, n_epochs, shuffle_seed):
+    """Random leader sequence with microblocks; any arrival order."""
+    from repro.core.blocks import build_key_block, build_microblock
+    from repro.core.remuneration import build_ng_coinbase
+    from repro.crypto.hashing import hash160
+    from repro.crypto.keys import PrivateKey
+
+    params = NGParams(key_block_interval=100.0, min_microblock_interval=10.0)
+    genesis = make_ng_genesis()
+    rng = random.Random(seed)
+    keys = [PrivateKey.from_seed(f"prop-{i}") for i in range(3)]
+    blocks = []
+    prev = genesis
+    t = 0.0
+    for epoch in range(n_epochs):
+        leader = rng.choice(range(3))
+        t += 100.0
+        coinbase = build_ng_coinbase(
+            miner_id=leader,
+            timestamp=t,
+            self_pubkey_hash=hash160(keys[leader].public_key().to_bytes()),
+            prev_leader_pubkey_hash=None,
+            prev_epoch_fees=0,
+            params=params,
+        )
+        key_block = build_key_block(
+            prev_hash=prev.hash,
+            timestamp=t,
+            bits=0x207FFFFF,
+            leader_pubkey=keys[leader].public_key().to_bytes(),
+            coinbase=coinbase,
+        )
+        blocks.append(key_block)
+        prev = key_block
+        for m in range(rng.randrange(3)):
+            t += 10.0
+            micro = build_microblock(
+                prev.hash,
+                t,
+                SyntheticPayload(n_tx=1, salt=bytes([epoch, m])),
+                keys[leader],
+            )
+            blocks.append(micro)
+            prev = micro
+    arrival = list(blocks)
+    random.Random(shuffle_seed).shuffle(arrival)
+    chain = NGChain(genesis, params)
+    for i, block in enumerate(arrival):
+        chain.add_block(block, float(i), local_time=t + 100.0)
+    assert len(chain) == len(blocks) + 1
+    chain.assert_consistent()
+    # The tip is the end of the built chain (single line, no forks).
+    assert chain.tip == blocks[-1].hash

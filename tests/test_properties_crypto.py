@@ -1,0 +1,100 @@
+"""Property-based tests: crypto substrate invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import ecdsa
+from repro.crypto.hashing import sha256d, tagged_hash
+from repro.crypto.keys import (
+    PrivateKey,
+    base58check_decode,
+    base58check_encode,
+)
+from repro.crypto.merkle import merkle_proof, merkle_root, verify_proof
+from repro.crypto.pow import (
+    MAX_TARGET,
+    compact_from_target,
+    target_from_compact,
+    work_from_target,
+)
+
+
+@given(st.binary(min_size=0, max_size=200))
+def test_sha256d_deterministic_and_sized(data):
+    assert sha256d(data) == sha256d(data)
+    assert len(sha256d(data)) == 32
+
+
+@given(st.text(min_size=1, max_size=20), st.binary(max_size=100))
+def test_tagged_hash_never_collides_with_plain(tag, data):
+    assert tagged_hash(tag, data) != sha256d(data)
+
+
+@given(st.binary(min_size=0, max_size=40))
+def test_base58check_roundtrip(payload):
+    encoded = base58check_encode(0, payload)
+    version, decoded = base58check_decode(encoded)
+    assert version == 0
+    assert decoded == payload
+
+
+@given(st.lists(st.binary(min_size=32, max_size=32), min_size=1, max_size=24))
+def test_merkle_proofs_always_verify(leaves):
+    root = merkle_root(leaves)
+    for index, leaf in enumerate(leaves):
+        proof = merkle_proof(leaves, index)
+        assert verify_proof(leaf, proof, root)
+
+
+@given(
+    st.lists(st.binary(min_size=32, max_size=32), min_size=2, max_size=12, unique=True),
+    st.data(),
+)
+def test_merkle_proof_position_binding(leaves, data):
+    # A proof for one position never verifies a different unique leaf.
+    root = merkle_root(leaves)
+    index = data.draw(st.integers(0, len(leaves) - 1))
+    other = data.draw(st.integers(0, len(leaves) - 1))
+    proof = merkle_proof(leaves, index)
+    if leaves[other] != leaves[index]:
+        assert not verify_proof(leaves[other], proof, root)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=ecdsa.N - 1), st.binary(min_size=32, max_size=32))
+def test_sign_verify_property(secret, msg):
+    signature = ecdsa.sign(secret, msg)
+    assert ecdsa.verify(ecdsa.point_mul(secret), msg, signature)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=ecdsa.N - 1))
+def test_pubkey_serialization_roundtrip(secret):
+    point = ecdsa.point_mul(secret)
+    assert ecdsa.point_from_bytes(ecdsa.point_to_bytes(point)) == point
+
+
+@given(st.integers(min_value=1, max_value=MAX_TARGET))
+def test_work_positive_and_antitone(target):
+    work = work_from_target(target)
+    assert work >= 1
+    if target > 1:
+        assert work_from_target(target - target // 2) >= work
+
+
+@given(st.integers(min_value=2**16, max_value=MAX_TARGET))
+def test_compact_encoding_close_roundtrip(target):
+    # Compact encoding is lossy (23-bit mantissa) but must stay within
+    # a relative error of 2^-15 and re-encode stably.
+    bits = compact_from_target(target)
+    decoded = target_from_compact(bits)
+    assert abs(decoded - target) <= target / 2**15
+    assert compact_from_target(decoded) == bits
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.binary(min_size=1, max_size=16))
+def test_key_derivation_stable(seed):
+    key = PrivateKey.from_seed(seed)
+    msg = b"\x09" * 32
+    assert key.public_key().verify(msg, key.sign(msg))

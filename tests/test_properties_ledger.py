@@ -1,0 +1,95 @@
+"""Property-based tests: UTXO state machine invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ledger.errors import LedgerError
+from repro.ledger.transactions import (
+    OutPoint,
+    Transaction,
+    TxInput,
+    TxOutput,
+    make_coinbase,
+)
+from repro.ledger.utxo import UtxoSet
+
+OWNER = bytes(20)
+
+
+def _genesis_utxo(values):
+    utxo = UtxoSet(coinbase_maturity=0)
+    for i, value in enumerate(values):
+        utxo.credit(TxOutput(value, OWNER), OutPoint(b"\x01" * 32, i), 0)
+    return utxo
+
+
+@given(st.lists(st.integers(min_value=1, max_value=10_000), min_size=1, max_size=10))
+def test_total_value_equals_credits(values):
+    utxo = _genesis_utxo(values)
+    assert utxo.total_value() == sum(values)
+    assert utxo.balance(OWNER) == sum(values)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.integers(min_value=1, max_value=1000), min_size=2, max_size=8),
+    st.data(),
+)
+def test_apply_undo_is_identity(values, data):
+    """Any sequence of valid spends, fully undone, restores the state."""
+    utxo = _genesis_utxo(values)
+    baseline = utxo.snapshot()
+    undos = []
+    height = 1
+    for _ in range(data.draw(st.integers(0, 4))):
+        available = utxo.outpoints_for(OWNER)
+        if not available:
+            break
+        outpoint = data.draw(st.sampled_from(available))
+        coin = utxo.get(outpoint)
+        spend_value = data.draw(st.integers(1, coin.output.value))
+        tx = Transaction(
+            inputs=(TxInput(outpoint),),
+            outputs=(TxOutput(spend_value, OWNER),),
+        )
+        undos.append(utxo.apply(tx, height))
+        height += 1
+    for undo in reversed(undos):
+        utxo.undo(undo)
+    assert utxo.snapshot() == baseline
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.integers(min_value=1, max_value=1000), min_size=1, max_size=6),
+    st.integers(min_value=0, max_value=5),
+)
+def test_value_never_created_by_spends(values, n_spends):
+    """Spending can only destroy value (fees), never mint it."""
+    utxo = _genesis_utxo(values)
+    total = utxo.total_value()
+    for i in range(n_spends):
+        available = utxo.outpoints_for(OWNER)
+        if not available:
+            break
+        outpoint = available[0]
+        coin = utxo.get(outpoint)
+        keep = max(1, coin.output.value // 2)
+        tx = Transaction(
+            inputs=(TxInput(outpoint),),
+            outputs=(TxOutput(keep, OWNER),),
+        )
+        try:
+            utxo.apply(tx, i + 1)
+        except LedgerError:
+            continue
+        assert utxo.total_value() <= total
+        total = utxo.total_value()
+
+
+@given(st.integers(min_value=0, max_value=2**40))
+def test_coinbase_mints_exactly_its_outputs(value):
+    utxo = UtxoSet()
+    cb = make_coinbase([(OWNER, value)])
+    utxo.apply(cb, 1)
+    assert utxo.total_value() == value

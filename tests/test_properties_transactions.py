@@ -1,0 +1,83 @@
+"""Property-based tests: transaction serialization roundtrips."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ledger.transactions import (
+    OutPoint,
+    Transaction,
+    TxInput,
+    TxOutput,
+)
+
+outpoints = st.builds(
+    OutPoint,
+    txid=st.binary(min_size=32, max_size=32),
+    index=st.integers(min_value=0, max_value=2**32 - 1),
+)
+
+tx_inputs = st.builds(
+    TxInput,
+    outpoint=outpoints,
+    pubkey=st.binary(max_size=64),
+    signature=st.binary(max_size=80),
+)
+
+tx_outputs = st.builds(
+    TxOutput,
+    value=st.integers(min_value=0, max_value=10**12),
+    pubkey_hash=st.binary(min_size=20, max_size=20),
+)
+
+transactions = st.builds(
+    Transaction,
+    inputs=st.lists(tx_inputs, max_size=5).map(tuple),
+    outputs=st.lists(tx_outputs, min_size=1, max_size=5).map(tuple),
+    padding=st.binary(max_size=200),
+)
+
+
+@settings(max_examples=200)
+@given(transactions)
+def test_serialization_roundtrip(tx):
+    restored = Transaction.deserialize(tx.serialize())
+    assert restored == tx
+    assert restored.txid == tx.txid
+
+
+@settings(max_examples=100)
+@given(transactions)
+def test_size_matches_wire_bytes(tx):
+    assert tx.size == len(tx.serialize())
+
+
+@settings(max_examples=100)
+@given(transactions, transactions)
+def test_distinct_transactions_distinct_txids(a, b):
+    if a != b:
+        assert a.txid != b.txid
+
+
+@settings(max_examples=100)
+@given(transactions)
+def test_truncation_never_roundtrips(tx):
+    import pytest
+
+    from repro.ledger.errors import MalformedTransaction
+
+    data = tx.serialize()
+    with pytest.raises(MalformedTransaction):
+        Transaction.deserialize(data[:-1])
+
+
+@settings(max_examples=50)
+@given(transactions.filter(lambda t: t.inputs))
+def test_sighash_stable_under_witness_changes(tx):
+    """The sighash must not depend on pubkey/signature fields."""
+    stripped = Transaction(
+        tuple(TxInput(i.outpoint) for i in tx.inputs),
+        tx.outputs,
+        tx.padding,
+    )
+    for index in range(len(tx.inputs)):
+        assert tx.sighash(index) == stripped.sighash(index)

@@ -1,0 +1,132 @@
+"""Property-based tests: wire codecs round-trip arbitrary blocks."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitcoin.blocks import Block, BlockHeader, SyntheticPayload, TxPayload
+from repro.core.blocks import (
+    KeyBlock,
+    KeyBlockHeader,
+    Microblock,
+    MicroblockHeader,
+)
+from repro.crypto.keys import PrivateKey
+from repro.ledger.transactions import (
+    OutPoint,
+    Transaction,
+    TxInput,
+    TxOutput,
+    make_coinbase,
+)
+from repro.wire import decode, encode
+
+PUBKEY = PrivateKey.from_seed("wire-prop").public_key().to_bytes()
+
+hashes = st.binary(min_size=32, max_size=32)
+timestamps = st.floats(
+    min_value=0, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+bits_values = st.sampled_from([0x207FFFFF, 0x1D00FFFF, 0x1F00FFFF])
+nonces = st.integers(min_value=0, max_value=2**64 - 1)
+
+synthetic_payloads = st.builds(
+    SyntheticPayload,
+    n_tx=st.integers(min_value=0, max_value=10_000),
+    tx_size=st.integers(min_value=1, max_value=10_000),
+    salt=st.binary(max_size=64),
+)
+
+transactions = st.builds(
+    Transaction,
+    inputs=st.lists(
+        st.builds(
+            TxInput,
+            outpoint=st.builds(
+                OutPoint,
+                txid=hashes,
+                index=st.integers(min_value=0, max_value=2**32 - 1),
+            ),
+            pubkey=st.binary(max_size=40),
+            signature=st.binary(max_size=70),
+        ),
+        max_size=3,
+    ).map(tuple),
+    outputs=st.lists(
+        st.builds(
+            TxOutput,
+            value=st.integers(min_value=0, max_value=10**10),
+            pubkey_hash=st.binary(min_size=20, max_size=20),
+        ),
+        min_size=1,
+        max_size=3,
+    ).map(tuple),
+    padding=st.binary(max_size=50),
+)
+
+tx_payloads = st.builds(
+    TxPayload, transactions=st.lists(transactions, max_size=4).map(tuple)
+)
+
+payloads = st.one_of(synthetic_payloads, tx_payloads)
+
+coinbases = st.builds(
+    lambda pkh, value, tag: make_coinbase([(pkh, value)], tag=tag),
+    pkh=st.binary(min_size=20, max_size=20),
+    value=st.integers(min_value=0, max_value=10**10),
+    tag=st.binary(max_size=30),
+)
+
+bitcoin_blocks = st.builds(
+    lambda prev, root, t, bits, nonce, cb, payload: Block(
+        BlockHeader(prev, root, t, bits, nonce), cb, payload
+    ),
+    prev=hashes,
+    root=hashes,
+    t=timestamps,
+    bits=bits_values,
+    nonce=nonces,
+    cb=coinbases,
+    payload=payloads,
+)
+
+key_blocks = st.builds(
+    lambda prev, root, t, bits, nonce, cb: KeyBlock(
+        KeyBlockHeader(prev, root, t, bits, nonce, PUBKEY), cb
+    ),
+    prev=hashes,
+    root=hashes,
+    t=timestamps,
+    bits=bits_values,
+    nonce=nonces,
+    cb=coinbases,
+)
+
+microblocks = st.builds(
+    lambda prev, t, root, sig, payload: Microblock(
+        MicroblockHeader(prev, t, root), sig, payload
+    ),
+    prev=hashes,
+    t=timestamps,
+    root=hashes,
+    sig=st.binary(min_size=64, max_size=64),
+    payload=payloads,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.one_of(bitcoin_blocks, key_blocks, microblocks))
+def test_any_block_roundtrips(block):
+    restored = decode(encode(block))
+    assert restored == block
+    assert restored.hash == block.hash
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.one_of(bitcoin_blocks, key_blocks, microblocks), st.binary(min_size=1, max_size=4))
+def test_trailing_garbage_always_rejected(block, garbage):
+    import pytest
+
+    from repro.encoding import DecodeError
+
+    with pytest.raises(DecodeError):
+        decode(encode(block) + garbage)

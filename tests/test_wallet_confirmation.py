@@ -1,0 +1,110 @@
+"""The §4.3 confirmation policy against live chain state."""
+
+import pytest
+
+from repro.bitcoin.blocks import SyntheticPayload
+from repro.bitcoin.chain import TieBreak
+from repro.core.blocks import build_key_block, build_microblock
+from repro.core.chain import NGChain
+from repro.core.genesis import make_ng_genesis
+from repro.core.params import NGParams
+from repro.core.remuneration import build_ng_coinbase
+from repro.crypto.hashing import hash160
+from repro.crypto.keys import PrivateKey
+from repro.wallet import ConfirmationPolicy, ConfirmationTracker, TxStatus
+
+PARAMS = NGParams(key_block_interval=100.0, min_microblock_interval=10.0)
+ALICE = PrivateKey.from_seed("conf-alice")
+BOB = PrivateKey.from_seed("conf-bob")
+POLICY = ConfirmationPolicy(propagation_time=5.0, key_block_depth=1)
+
+
+def _key(prev, who, t, miner=1):
+    return build_key_block(
+        prev_hash=prev,
+        timestamp=t,
+        bits=0x207FFFFF,
+        leader_pubkey=who.public_key().to_bytes(),
+        coinbase=build_ng_coinbase(
+            miner_id=miner,
+            timestamp=t,
+            self_pubkey_hash=hash160(who.public_key().to_bytes()),
+            prev_leader_pubkey_hash=None,
+            prev_epoch_fees=0,
+            params=PARAMS,
+        ),
+    )
+
+
+def _micro(prev, who, t, salt=b"m"):
+    return build_microblock(
+        prev_hash=prev,
+        timestamp=t,
+        payload=SyntheticPayload(n_tx=1, salt=salt),
+        leader_key=who,
+    )
+
+
+@pytest.fixture()
+def setup():
+    genesis = make_ng_genesis()
+    chain = NGChain(genesis, PARAMS, tie_break=TieBreak.FIRST_SEEN)
+    k1 = _key(genesis.hash, ALICE, 0.0)
+    chain.add_block(k1, 0.0)
+    m1 = _micro(k1.hash, ALICE, 10.0)
+    chain.add_block(m1, 10.0)
+    tracker = ConfirmationTracker(chain, POLICY)
+    txid = b"\x77" * 32
+    tracker.observe(txid, m1.hash, seen_at=10.0)
+    return chain, tracker, txid, k1, m1
+
+
+def test_untracked_is_unknown(setup):
+    _, tracker, *_ = setup
+    assert tracker.status(b"\x00" * 32, now=100.0) is TxStatus.UNKNOWN
+
+
+def test_tentative_inside_propagation_window(setup):
+    _, tracker, txid, *_ = setup
+    assert tracker.status(txid, now=12.0) is TxStatus.TENTATIVE
+    assert txid in tracker.pending(12.0)
+
+
+def test_confirmed_after_propagation_wait(setup):
+    # §4.3: wait the propagation time, then trust the microblock.
+    _, tracker, txid, *_ = setup
+    assert tracker.status(txid, now=15.0) is TxStatus.CONFIRMED
+    assert tracker.pending(15.0) == []
+
+
+def test_confirmed_by_key_block_burial(setup):
+    chain, tracker, txid, k1, m1 = setup
+    k2 = _key(m1.hash, BOB, 100.0, miner=2)
+    chain.add_block(k2, 100.0)
+    # Even inside the propagation window, burial confirms it.
+    assert tracker.status(txid, now=10.5) is TxStatus.CONFIRMED
+
+
+def test_pruned_when_branch_loses(setup):
+    chain, tracker, txid, k1, m1 = setup
+    # A key block mined on k1 (not on m1): m1 is pruned (Figure 2).
+    k2 = _key(k1.hash, BOB, 100.0, miner=2)
+    chain.add_block(k2, 100.0)
+    assert not chain.is_in_main_chain(m1.hash)
+    assert tracker.status(txid, now=200.0) is TxStatus.PRUNED
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        ConfirmationPolicy(propagation_time=-1.0)
+    with pytest.raises(ValueError):
+        ConfirmationPolicy(key_block_depth=-1)
+
+
+def test_depth_zero_confirms_immediately(setup):
+    chain, _, txid, k1, m1 = setup
+    eager = ConfirmationTracker(
+        chain, ConfirmationPolicy(propagation_time=5.0, key_block_depth=0)
+    )
+    eager.observe(txid, m1.hash, seen_at=10.0)
+    assert eager.status(txid, now=10.0) is TxStatus.CONFIRMED

@@ -1,0 +1,136 @@
+"""Block wire codecs: exact round trips for every block type."""
+
+import pytest
+
+from repro.bitcoin.blocks import SyntheticPayload, TxPayload, build_block, make_genesis
+from repro.core.blocks import build_key_block, build_microblock
+from repro.core.genesis import make_ng_genesis
+from repro.core.remuneration import build_ng_coinbase
+from repro.core.params import NGParams
+from repro.crypto.hashing import hash160
+from repro.crypto.keys import PrivateKey
+from repro.encoding import ByteReader, DecodeError, bytes_u16, u8
+from repro.ledger.transactions import OutPoint, Transaction, TxInput, TxOutput
+from repro.wire import decode, encode, decode_payload, encode_payload
+
+KEY = PrivateKey.from_seed("wire")
+PARAMS = NGParams()
+
+
+def _tx(byte=1):
+    return Transaction(
+        inputs=(TxInput(OutPoint(bytes([byte]) * 32, 0)),),
+        outputs=(TxOutput(7, bytes(20)),),
+    ).sign_input(0, KEY)
+
+
+def _bitcoin_block(payload):
+    return build_block(
+        prev_hash=make_genesis().hash,
+        payload=payload,
+        timestamp=123.5,
+        bits=0x207FFFFF,
+        miner_id=4,
+        reward=50,
+    )
+
+
+def test_bitcoin_block_roundtrip_synthetic():
+    block = _bitcoin_block(SyntheticPayload(n_tx=7, tx_size=476, salt=b"s"))
+    restored = decode(encode(block))
+    assert restored == block
+    assert restored.hash == block.hash
+
+
+def test_bitcoin_block_roundtrip_transactions():
+    block = _bitcoin_block(TxPayload((_tx(1), _tx(2))))
+    restored = decode(encode(block))
+    assert restored == block
+    assert restored.hash == block.hash
+
+
+def test_key_block_roundtrip():
+    coinbase = build_ng_coinbase(
+        miner_id=3,
+        timestamp=9.0,
+        self_pubkey_hash=hash160(KEY.public_key().to_bytes()),
+        prev_leader_pubkey_hash=bytes(20),
+        prev_epoch_fees=1000,
+        params=PARAMS,
+    )
+    block = build_key_block(
+        prev_hash=make_ng_genesis().hash,
+        timestamp=9.0,
+        bits=0x207FFFFF,
+        leader_pubkey=KEY.public_key().to_bytes(),
+        coinbase=coinbase,
+        nonce=42,
+    )
+    restored = decode(encode(block))
+    assert restored == block
+    assert restored.hash == block.hash
+
+
+def test_microblock_roundtrip_preserves_signature():
+    micro = build_microblock(
+        prev_hash=b"\x11" * 32,
+        timestamp=55.0,
+        payload=SyntheticPayload(n_tx=3, salt=b"micro"),
+        leader_key=KEY,
+    )
+    restored = decode(encode(micro))
+    assert restored == micro
+    assert restored.verify_signature(KEY.public_key().to_bytes())
+
+
+def test_microblock_roundtrip_with_transactions():
+    micro = build_microblock(
+        prev_hash=b"\x11" * 32,
+        timestamp=55.0,
+        payload=TxPayload((_tx(1), _tx(2), _tx(3))),
+        leader_key=KEY,
+    )
+    restored = decode(encode(micro))
+    assert restored == micro
+    assert restored.n_tx == 3
+
+
+def test_payload_codec_direct():
+    payload = SyntheticPayload(n_tx=9, tx_size=100, salt=b"x")
+    reader = ByteReader(encode_payload(payload))
+    assert decode_payload(reader) == payload
+    reader.expect_end()
+
+
+def test_unknown_tags_rejected():
+    with pytest.raises(DecodeError):
+        decode(u8(99) + bytes(32))
+    with pytest.raises(DecodeError):
+        decode_payload(ByteReader(u8(42)))
+
+
+def test_trailing_bytes_rejected():
+    block = _bitcoin_block(SyntheticPayload(n_tx=1, salt=b"t"))
+    with pytest.raises(DecodeError):
+        decode(encode(block) + b"\x00")
+
+
+def test_truncation_rejected():
+    block = _bitcoin_block(SyntheticPayload(n_tx=1, salt=b"t"))
+    data = encode(block)
+    with pytest.raises(Exception):
+        decode(data[: len(data) // 2])
+
+
+def test_reader_helpers():
+    reader = ByteReader(bytes_u16(b"abc") + b"\x07")
+    assert reader.bytes_u16() == b"abc"
+    assert reader.u8() == 7
+    reader.expect_end()
+    with pytest.raises(DecodeError):
+        reader.u8()
+
+
+def test_encode_rejects_foreign_objects():
+    with pytest.raises(DecodeError):
+        encode("not a block")  # type: ignore[arg-type]
