@@ -1,0 +1,207 @@
+"""Performance regression microbenchmarks (emits ``BENCH_simcore.json``).
+
+Three measurements, each written into a machine-readable JSON at the
+repository root so every PR leaves a perf trajectory behind:
+
+* **event core** — a 200k-event chained-timer pump: pure scheduler
+  dispatch, no protocol logic.
+* **single run** — one Bitcoin-NG experiment, reporting wall time and
+  events/sec through :mod:`repro.profiling`.
+* **sweep dispatch** — a 4-seed sweep executed serially and through the
+  parallel :class:`~repro.experiments.parallel.SweepExecutor` with four
+  workers, asserting bit-identical results and recording the speedup.
+
+The ``BASELINE`` numbers were measured on the pre-optimization tree
+(commit bc0571a) on the same container these benchmarks run in, so the
+JSON shows the improvement of this tree over that baseline.  Absolute
+assertions are kept generous (they guard against pathological
+regressions, not noise); the parallel speedup assertion only applies
+when the machine actually has enough cores to parallelize.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from repro.experiments import ExperimentConfig, Protocol
+from repro.experiments.parallel import SweepExecutor
+from repro.net.simulator import Simulator
+from repro.profiling import best_of, update_bench
+
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_simcore.json"
+
+# Pre-PR numbers, measured at commit bc0571a (seed tree) on this
+# container (single CPU), best of repeated runs of the identical
+# workloads below.
+BASELINE = {
+    "commit": "bc0571a",
+    "event_core_events_per_sec": 641_693.0,
+    "single_run": {
+        "wall_seconds": 1.731,
+        "events_processed": 171_946,
+        "events_per_sec": 99_340.0,
+    },
+    "sweep_serial_wall_seconds": 1.390,
+}
+
+# Single-run workload: a Bitcoin-NG execution heavy enough to time
+# stably (~170k events on the seed tree).
+MICRO_CONFIG = ExperimentConfig(
+    protocol=Protocol.BITCOIN_NG,
+    n_nodes=60,
+    target_blocks=120,
+    target_key_blocks=8,
+    block_rate=0.4,
+    key_block_rate=0.02,
+    block_size_bytes=8000,
+    cooldown=15.0,
+    seed=7,
+)
+
+# Sweep workload: four seeds of one moderate cell.
+SWEEP_BASE = ExperimentConfig(
+    protocol=Protocol.BITCOIN_NG,
+    n_nodes=40,
+    target_blocks=60,
+    target_key_blocks=6,
+    block_rate=0.2,
+    key_block_rate=0.02,
+    block_size_bytes=8000,
+    cooldown=15.0,
+)
+SWEEP_SEEDS = (0, 1, 2, 3)
+SWEEP_WORKERS = 4
+
+# Generous wall-clock ceilings: ~20x the expected numbers, so only a
+# pathological regression (or a dead machine) trips them.
+SINGLE_RUN_WALL_CEILING = 40.0
+SWEEP_WALL_CEILING = 60.0
+PUMP_EVENTS = 200_000
+
+
+def _pump_events_per_sec() -> float:
+    """Dispatch rate of the bare event loop (no network, no protocol)."""
+
+    def one_round() -> float:
+        sim = Simulator(seed=0)
+        count = 0
+
+        def tick() -> None:
+            nonlocal count
+            count += 1
+            if count < PUMP_EVENTS:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(0.0, tick)
+        start = time.perf_counter()
+        sim.run()
+        return PUMP_EVENTS / (time.perf_counter() - start)
+
+    return max(one_round() for _ in range(3))
+
+
+def test_event_core_dispatch_rate():
+    rate = _pump_events_per_sec()
+    update_bench(
+        BENCH_JSON,
+        "event_core",
+        {
+            "events": PUMP_EVENTS,
+            "events_per_sec": round(rate, 1),
+            "baseline_events_per_sec": BASELINE["event_core_events_per_sec"],
+            "speedup_vs_baseline": round(
+                rate / BASELINE["event_core_events_per_sec"], 3
+            ),
+        },
+    )
+    # The tuple-heap core more than doubled this on the baseline host;
+    # the floor only guards against a wholesale regression.
+    assert rate > 100_000, f"event core collapsed to {rate:,.0f} ev/s"
+
+
+def test_single_run_event_rate():
+    perf = best_of(MICRO_CONFIG, repeats=3)
+    update_bench(
+        BENCH_JSON,
+        "single_run",
+        {
+            "config": {
+                "protocol": MICRO_CONFIG.protocol.value,
+                "n_nodes": MICRO_CONFIG.n_nodes,
+                "block_rate": MICRO_CONFIG.block_rate,
+                "block_size_bytes": MICRO_CONFIG.block_size_bytes,
+                "seed": MICRO_CONFIG.seed,
+            },
+            **{k: round(v, 3) if isinstance(v, float) else v
+               for k, v in perf.as_dict().items()},
+            "baseline": BASELINE["single_run"],
+            "wall_speedup_vs_baseline": round(
+                BASELINE["single_run"]["wall_seconds"] / perf.wall_seconds, 3
+            ),
+            "events_per_sec_vs_baseline": round(
+                perf.events_per_sec
+                / BASELINE["single_run"]["events_per_sec"],
+                3,
+            ),
+        },
+    )
+    assert perf.wall_seconds < SINGLE_RUN_WALL_CEILING
+    assert perf.events_processed > 0
+
+
+def test_sweep_parallel_identical_and_timed():
+    configs = [SWEEP_BASE.with_(seed=seed) for seed in SWEEP_SEEDS]
+
+    start = time.perf_counter()
+    serial = SweepExecutor(jobs=1).map(configs)
+    serial_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = SweepExecutor(jobs=SWEEP_WORKERS).map(configs)
+    parallel_wall = time.perf_counter() - start
+
+    # Determinism across dispatch modes: the whole point of result
+    # ordering being submission order.
+    assert parallel == serial
+
+    cpus = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (
+        os.cpu_count() or 1
+    )
+    speedup = serial_wall / max(parallel_wall, 1e-9)
+    update_bench(
+        BENCH_JSON,
+        "sweep_dispatch",
+        {
+            "seeds": list(SWEEP_SEEDS),
+            "workers": SWEEP_WORKERS,
+            "cpus_available": cpus,
+            "serial_wall_seconds": round(serial_wall, 3),
+            "parallel_wall_seconds": round(parallel_wall, 3),
+            "speedup_parallel_over_serial": round(speedup, 3),
+            "baseline_serial_wall_seconds": BASELINE[
+                "sweep_serial_wall_seconds"
+            ],
+            "serial_speedup_vs_baseline": round(
+                BASELINE["sweep_serial_wall_seconds"] / max(serial_wall, 1e-9),
+                3,
+            ),
+        },
+    )
+    update_bench(BENCH_JSON, "baseline", BASELINE)
+
+    assert serial_wall < SWEEP_WALL_CEILING
+    assert parallel_wall < SWEEP_WALL_CEILING
+    if cpus >= SWEEP_WORKERS:
+        # Four independent single-CPU simulations on >=4 cores: anything
+        # under 2x means the pool is broken, not merely noisy.
+        assert speedup >= 2.0, f"parallel dispatch only {speedup:.2f}x"
+
+
+def test_bench_json_is_valid():
+    """The emitted trajectory file parses and has every section."""
+    data = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+    for section in ("event_core", "single_run", "sweep_dispatch", "baseline"):
+        assert section in data, f"missing {section}"

@@ -52,12 +52,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
         block_size_bytes=args.block_size,
         key_block_rate=args.key_block_rate,
     )
+    if args.profile:
+        from .profiling import profile_run
+
+        print(profile_run(config, top=args.profile))
+        return 0
+    import time
+
+    start = time.perf_counter()
     result, log = run_experiment(config)
+    wall = max(time.perf_counter() - start, 1e-9)
     print(f"protocol:                {args.protocol}")
     print(f"blocks generated:        {result.blocks_generated}")
     print(f"main chain length:       {result.main_chain_length}")
     for name, value in sorted(result.as_row().items()):
         print(f"{name + ':':<25}{value:.4f}")
+    print(f"events processed:        {result.events_processed}")
+    print(f"events/sec:              {result.events_processed / wall:,.0f}")
     if args.save_trace:
         from .metrics import save_trace
 
@@ -72,9 +83,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     base = _base_config(args)
     seeds = tuple(args.seeds)
     if args.axis == "frequency":
-        sweep = frequency_sweep(base, seeds=seeds)
+        sweep = frequency_sweep(base, seeds=seeds, jobs=args.jobs)
     else:
-        sweep = size_sweep(base, seeds=seeds)
+        sweep = size_sweep(base, seeds=seeds, jobs=args.jobs)
     print(format_sweep_table(sweep))
     if args.chart:
         for metric in args.chart:
@@ -124,6 +135,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="export the execution's observation log as JSON",
     )
+    run_parser.add_argument(
+        "--profile",
+        type=int,
+        nargs="?",
+        const=25,
+        default=None,
+        metavar="TOP",
+        help="run under cProfile and print the TOP hottest functions",
+    )
     run_parser.set_defaults(handler=_cmd_run)
 
     sweep_parser = commands.add_parser(
@@ -133,6 +153,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(sweep_parser)
     sweep_parser.add_argument(
         "--seeds", type=int, nargs="+", default=[0], help="seeds to average"
+    )
+    sweep_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for sweep cells "
+        "(default: REPRO_JOBS env or CPU count; 1 = serial)",
     )
     sweep_parser.add_argument(
         "--chart",

@@ -21,6 +21,7 @@ from .propagation import (
     propagation_samples,
     propagation_study,
 )
+from .parallel import JOBS_ENV_VAR, SweepExecutor, resolve_jobs, run_many
 from .reporting import (
     METRIC_COLUMNS,
     crossover_summary,
@@ -42,6 +43,10 @@ from .sweeps import (
 __all__ = [
     "CONSTANT_LOAD_TX_RATE",
     "FREQUENCY_POINTS",
+    "JOBS_ENV_VAR",
+    "SweepExecutor",
+    "resolve_jobs",
+    "run_many",
     "METRIC_COLUMNS",
     "PROPAGATION_SIZE_POINTS",
     "SIZE_POINTS",

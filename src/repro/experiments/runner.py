@@ -51,6 +51,9 @@ class ExperimentResult:
     blocks_generated: int
     main_chain_length: int
     duration: float
+    # Execution counters (perf accounting, not paper metrics).
+    events_processed: int = 0
+    messages_delivered: int = 0
 
     def as_row(self) -> dict[str, float]:
         """Flat numeric dict, convenient for table printing."""
@@ -111,6 +114,8 @@ def run_experiment(config: ExperimentConfig) -> tuple[ExperimentResult, Observat
         blocks_generated=len(log.index),
         main_chain_length=len(log.main_chain()),
         duration=log.duration,
+        events_processed=sim.events_processed,
+        messages_delivered=network.messages_delivered,
     )
     return result, log
 

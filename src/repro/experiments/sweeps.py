@@ -19,7 +19,8 @@ import math
 from dataclasses import dataclass, field
 
 from .config import ExperimentConfig, Protocol, constant_throughput_block_size
-from .runner import ExperimentResult, run_experiment
+from .parallel import run_many
+from .runner import ExperimentResult
 
 # The x-axis of Figure 8a: block / microblock frequencies in 1/sec.
 FREQUENCY_POINTS = (0.01, 0.0316, 0.1, 0.316, 1.0)
@@ -57,36 +58,58 @@ class SweepResult:
         return [p for p in self.points if p.protocol is protocol]
 
 
+def _run_grid(
+    sweep: SweepResult,
+    cells: list[tuple[float, Protocol, list[ExperimentConfig]]],
+    jobs: int | None,
+) -> SweepResult:
+    """Dispatch every cell's configs through the parallel executor.
+
+    The flat config list preserves grid order, and ``run_many`` returns
+    results in submission order, so regrouping by cell is a plain slice
+    — identical output whatever the worker count.
+    """
+    flat = [config for _, _, configs in cells for config in configs]
+    results = run_many(flat, jobs=jobs)
+    cursor = 0
+    for x, protocol, configs in cells:
+        chunk = tuple(results[cursor : cursor + len(configs)])
+        cursor += len(configs)
+        sweep.points.append(SweepPoint(x, protocol, chunk))
+    return sweep
+
+
 def frequency_sweep(
     base: ExperimentConfig | None = None,
     frequencies: tuple[float, ...] = FREQUENCY_POINTS,
     protocols: tuple[Protocol, ...] = (Protocol.BITCOIN, Protocol.BITCOIN_NG),
     seeds: tuple[int, ...] = (0,),
+    jobs: int | None = None,
 ) -> SweepResult:
     """Figure 8a: vary block (Bitcoin) / microblock (NG) frequency.
 
     Payload throughput is held at the operational 3.5 tx/s by sizing
-    blocks inversely to frequency, exactly as in the paper.
+    blocks inversely to frequency, exactly as in the paper.  Cells run
+    across ``jobs`` worker processes (default: ``REPRO_JOBS`` or the
+    CPU count); results are identical to a serial run.
     """
     base = base or ExperimentConfig()
     sweep = SweepResult(name="figure-8a", x_label="block frequency [1/sec]")
+    cells = []
     for frequency in frequencies:
         size = constant_throughput_block_size(frequency, tx_size=base.tx_size)
         for protocol in protocols:
-            results = []
-            for seed in seeds:
-                config = base.with_(
+            configs = [
+                base.with_(
                     protocol=protocol,
                     block_rate=frequency,
                     block_size_bytes=size,
                     seed=seed,
                 )
-                result, _ = run_experiment(config)
-                results.append(result)
-            sweep.points.append(
-                SweepPoint(frequency, protocol, tuple(results))
-            )
-    return sweep
+                for seed in seeds
+            ]
+            cells.append((frequency, protocol, configs))
+    return _run_grid(sweep, cells, jobs)
 
 
 def size_sweep(
@@ -96,25 +119,26 @@ def size_sweep(
     seeds: tuple[int, ...] = (0,),
     block_rate: float = 1.0 / 10.0,
     key_block_rate: float = 1.0 / 100.0,
+    jobs: int | None = None,
 ) -> SweepResult:
     """Figure 8b: vary block / microblock size at high, fixed frequency."""
     base = base or ExperimentConfig()
     sweep = SweepResult(name="figure-8b", x_label="block size [byte]")
+    cells = []
     for size in sizes:
         for protocol in protocols:
-            results = []
-            for seed in seeds:
-                config = base.with_(
+            configs = [
+                base.with_(
                     protocol=protocol,
                     block_rate=block_rate,
                     key_block_rate=key_block_rate,
                     block_size_bytes=size,
                     seed=seed,
                 )
-                result, _ = run_experiment(config)
-                results.append(result)
-            sweep.points.append(SweepPoint(float(size), protocol, tuple(results)))
-    return sweep
+                for seed in seeds
+            ]
+            cells.append((float(size), protocol, configs))
+    return _run_grid(sweep, cells, jobs)
 
 
 def log_spaced(low: float, high: float, count: int) -> list[float]:

@@ -19,6 +19,7 @@ import enum
 from dataclasses import dataclass
 from typing import Any
 
+from .events import Event
 from .network import Message, Network
 from .simulator import Simulator
 
@@ -35,7 +36,7 @@ class RelayMode(enum.Enum):
     FLOOD = "flood"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StoredObject:
     """An object held in a node's relay store."""
 
@@ -61,6 +62,7 @@ class GossipNode:
         relay_mode: RelayMode = RelayMode.INV,
         verification_delay: float = 0.0,
         verification_seconds_per_byte: float = 0.0,
+        request_timeout: float = 120.0,
     ) -> None:
         self.node_id = node_id
         self.sim = sim
@@ -71,9 +73,24 @@ class GossipNode:
         # so the delay has a fixed part and a size-proportional part.
         self.verification_delay = verification_delay
         self.verification_seconds_per_byte = verification_seconds_per_byte
+        # How long to wait for a requested object before giving up on
+        # that peer and retrying elsewhere (0 disables).  Generous by
+        # default: a 1 MB block takes ~80 s to serialize at the paper's
+        # 100 kbit/s, and a premature timeout would duplicate traffic.
+        self.request_timeout = request_timeout
         self._store: dict[bytes, StoredObject] = {}
         self._requested: set[bytes] = set()
         self._rejected: set[bytes] = set()
+        # While a getdata is outstanding, remember *other* peers that
+        # announced the same object: if the request times out (the
+        # response lost to churn or a partition), the next announcer is
+        # asked instead of the id being stuck in _requested forever.
+        self._alt_sources: dict[bytes, list[int]] = {}
+        self._request_timers: dict[bytes, Event] = {}
+        # Adjacency never changes mid-run (churn is modelled as offline
+        # sets, not edge removal), so the neighbor list is cached once
+        # instead of looked up per relayed object.
+        self._neighbors: list[int] = network.neighbors(node_id)
         # DoS protection: peers accumulate misbehavior points for
         # invalid objects; at the threshold their traffic is ignored,
         # mirroring Bitcoin Core's ban score.
@@ -114,18 +131,23 @@ class GossipNode:
         """
         if obj_id in self._store:
             return
-        self._requested.add(obj_id)
-        self.network.send(
-            self.node_id, peer, Message("getdata", obj_id, GETDATA_SIZE)
-        )
+        self._request_from(peer, obj_id)
 
     def announce(self, obj_id: bytes, kind: str, data: Any, size: int) -> None:
-        """Inject a locally created object and start relaying it."""
-        if obj_id in self._store:
+        """Inject a locally created object and start relaying it.
+
+        The :meth:`deliver` veto applies here exactly as on the remote
+        path: a locally generated object that fails validation is
+        dropped, remembered as rejected, and never relayed.
+        """
+        if obj_id in self._store or obj_id in self._rejected:
             return
         stored = StoredObject(obj_id, kind, data, size)
         self._store[obj_id] = stored
-        self.deliver(stored, sender=None)
+        if self.deliver(stored, sender=None) is False:
+            self._store.pop(obj_id, None)
+            self._rejected.add(obj_id)
+            return
         self._relay(stored, exclude=None)
 
     # -- network plumbing ---------------------------------------------------
@@ -138,13 +160,17 @@ class GossipNode:
         return self.misbehavior.get(peer, 0) >= self.ban_threshold
 
     def on_message(self, sender: int, message: Message) -> None:
-        if self.is_banned(sender):
+        # Inlined is_banned: the misbehavior dict is empty for honest
+        # networks, so the truthiness check skips the lookup entirely.
+        misbehavior = self.misbehavior
+        if misbehavior and misbehavior.get(sender, 0) >= self.ban_threshold:
             return
-        if message.kind == "inv":
+        kind = message.kind
+        if kind == "inv":
             self._on_inv(sender, message.payload)
-        elif message.kind == "getdata":
+        elif kind == "getdata":
             self._on_getdata(sender, message.payload)
-        elif message.kind == "object":
+        elif kind == "object":
             self._on_object(sender, message.payload)
         else:
             self.handle_protocol_message(sender, message)
@@ -153,34 +179,60 @@ class GossipNode:
         """Hook for subclasses with extra message kinds; default drops."""
 
     def _relay(self, stored: StoredObject, exclude: int | None) -> None:
-        for peer in self.network.neighbors(self.node_id):
-            if peer == exclude:
-                continue
-            if self.relay_mode is RelayMode.FLOOD:
-                self.network.send(
-                    self.node_id,
-                    peer,
-                    Message("object", stored, stored.size),
-                )
-            else:
-                self.network.send(
-                    self.node_id,
-                    peer,
-                    Message("inv", (stored.obj_id, stored.kind), INV_SIZE),
-                )
+        # One immutable message shared by every neighbor send, instead
+        # of a fresh allocation per peer.
+        if self.relay_mode is RelayMode.FLOOD:
+            message = Message("object", stored, stored.size)
+        else:
+            message = Message("inv", (stored.obj_id, stored.kind), INV_SIZE)
+        send = self.network.send
+        node_id = self.node_id
+        for peer in self._neighbors:
+            if peer != exclude:
+                send(node_id, peer, message)
+
+    def _request_from(self, peer: int, obj_id: bytes) -> None:
+        """Send a getdata and arm the retry timer for it."""
+        self._requested.add(obj_id)
+        if self.request_timeout > 0:
+            old = self._request_timers.get(obj_id)
+            if old is not None:
+                old.cancel()
+            self._request_timers[obj_id] = self.sim.schedule(
+                self.request_timeout, self._on_request_timeout, obj_id
+            )
+        self.network.send(
+            self.node_id, peer, Message("getdata", obj_id, GETDATA_SIZE)
+        )
+
+    def _on_request_timeout(self, obj_id: bytes) -> None:
+        self._request_timers.pop(obj_id, None)
+        if obj_id in self._store or obj_id in self._rejected:
+            self._alt_sources.pop(obj_id, None)
+            return
+        # The response was lost (churn, partition, or an offline peer):
+        # clear the outstanding mark so future invs can retrigger, and
+        # retry immediately from the next peer that announced it.
+        self._requested.discard(obj_id)
+        alternates = self._alt_sources.get(obj_id)
+        if alternates:
+            peer = alternates.pop(0)
+            if not alternates:
+                del self._alt_sources[obj_id]
+            self._request_from(peer, obj_id)
 
     def _on_inv(self, sender: int, payload: tuple[bytes, str]) -> None:
         obj_id, _kind = payload
-        if (
-            obj_id in self._store
-            or obj_id in self._requested
-            or obj_id in self._rejected
-        ):
+        if obj_id in self._store or obj_id in self._rejected:
             return
-        self._requested.add(obj_id)
-        self.network.send(
-            self.node_id, sender, Message("getdata", obj_id, GETDATA_SIZE)
-        )
+        if obj_id in self._requested:
+            # Already being fetched; remember this announcer as a
+            # fallback in case the outstanding request times out.
+            alternates = self._alt_sources.setdefault(obj_id, [])
+            if sender not in alternates:
+                alternates.append(sender)
+            return
+        self._request_from(sender, obj_id)
 
     def _on_getdata(self, sender: int, obj_id: bytes) -> None:
         stored = self._store.get(obj_id)
@@ -192,6 +244,10 @@ class GossipNode:
 
     def _on_object(self, sender: int, stored: StoredObject) -> None:
         self._requested.discard(stored.obj_id)
+        timer = self._request_timers.pop(stored.obj_id, None)
+        if timer is not None:
+            timer.cancel()
+        self._alt_sources.pop(stored.obj_id, None)
         if stored.obj_id in self._store:
             return
         self._store[stored.obj_id] = stored
@@ -200,7 +256,7 @@ class GossipNode:
             + self.verification_seconds_per_byte * stored.size
         )
         if delay > 0:
-            self.sim.schedule(delay, lambda: self._accept(stored, sender))
+            self.sim.schedule(delay, self._accept, stored, sender)
         else:
             self._accept(stored, sender)
 

@@ -26,7 +26,7 @@ DEFAULT_BANDWIDTH_BPS = 100_000 / 8  # bytes per second
 SMALL_MESSAGE_CUTOFF = 1500
 
 
-@dataclass
+@dataclass(slots=True)
 class Link:
     """One *directed* link; each direction queues independently."""
 

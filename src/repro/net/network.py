@@ -19,7 +19,7 @@ from .simulator import Simulator
 from .topology import Topology
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """A protocol message: a kind tag, opaque payload, and wire size."""
 
@@ -104,15 +104,18 @@ class Network:
         """Queue ``message`` on the src→dst link; silently dropped if
         either endpoint is offline or the link is blocked (the sender
         cannot know)."""
-        if src in self._offline or dst in self._offline:
+        offline = self._offline
+        if offline and (src in offline or dst in offline):
             return
-        if frozenset((src, dst)) in self._blocked:
+        # The frozenset allocation is only paid while a partition is
+        # actually active — the overwhelmingly common case is no blocks.
+        if self._blocked and frozenset((src, dst)) in self._blocked:
             return
         link = self._links.get((src, dst))
         if link is None:
             raise ValueError(f"nodes {src} and {dst} are not adjacent")
         arrival = link.transfer(self.sim.now, message.size)
-        self.sim.schedule_at(arrival, lambda: self._deliver(src, dst, message))
+        self.sim.schedule_at(arrival, self._deliver, src, dst, message)
 
     def broadcast(self, src: int, message: Message) -> None:
         """Send to every neighbor of ``src``."""

@@ -11,6 +11,7 @@ determinism.
 
 from __future__ import annotations
 
+import heapq
 import random
 from typing import Any, Callable
 
@@ -35,17 +36,36 @@ class Simulator:
     def events_processed(self) -> int:
         return self._events_processed
 
-    def schedule(self, delay: float, callback: Callable[[], Any]) -> Event:
-        """Run ``callback`` after ``delay`` seconds of virtual time."""
+    def schedule(
+        self, delay: float, callback: Callable[..., Any], *args: Any
+    ) -> Event:
+        """Run ``callback(*args)`` after ``delay`` seconds of virtual time.
+
+        This is the hottest call in the simulator (one per message per
+        link), so the queue push is inlined rather than delegated.
+        """
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        return self._queue.push(self._now + delay, callback)
+        queue = self._queue
+        time = self._now + delay
+        sequence = queue._sequence
+        queue._sequence = sequence + 1
+        event = Event(time, sequence, callback, args)
+        heapq.heappush(queue._heap, (time, sequence, event))
+        return event
 
-    def schedule_at(self, time: float, callback: Callable[[], Any]) -> Event:
-        """Run ``callback`` at absolute virtual ``time`` (>= now)."""
+    def schedule_at(
+        self, time: float, callback: Callable[..., Any], *args: Any
+    ) -> Event:
+        """Run ``callback(*args)`` at absolute virtual ``time`` (>= now)."""
         if time < self._now:
             raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
-        return self._queue.push(time, callback)
+        queue = self._queue
+        sequence = queue._sequence
+        queue._sequence = sequence + 1
+        event = Event(time, sequence, callback, args)
+        heapq.heappush(queue._heap, (time, sequence, event))
+        return event
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
         """Process events in order until the queue empties.
@@ -53,24 +73,35 @@ class Simulator:
         ``until`` bounds virtual time (events beyond it stay queued);
         ``max_events`` bounds work, guarding against runaway feedback
         loops in experimental protocol code.
+
+        The dispatch loop works on the queue's heap directly: one
+        method call and one closure per event is exactly the overhead
+        profiling shows dominating a million-event run.  Callbacks
+        scheduling new events append to the same heap list, so holding
+        the reference across iterations is safe.
         """
+        heap = self._queue._heap
+        heappop = heapq.heappop
         processed = 0
-        while True:
-            if max_events is not None and processed >= max_events:
-                return
-            next_time = self._queue.peek_time()
-            if next_time is None:
-                return
-            if until is not None and next_time > until:
-                self._now = until
-                return
-            event = self._queue.pop()
-            if event is None:
-                return
-            self._now = event.time
-            event.callback()
-            processed += 1
-            self._events_processed += 1
+        try:
+            while heap and (max_events is None or processed < max_events):
+                time, _seq, event = heap[0]
+                if event.cancelled:
+                    heappop(heap)
+                    continue
+                if until is not None and time > until:
+                    self._now = until
+                    return
+                heappop(heap)
+                self._now = time
+                args = event.args
+                if args:
+                    event.callback(*args)
+                else:
+                    event.callback()
+                processed += 1
+        finally:
+            self._events_processed += processed
 
     def exponential(self, rate: float) -> float:
         """Sample an exponential interval with the given rate (1/mean)."""

@@ -1,0 +1,122 @@
+"""Profiling and performance measurement for simulation runs.
+
+Three layers, all built on the execution counters every
+:class:`~repro.experiments.runner.ExperimentResult` now carries:
+
+* :func:`measure_run` — one experiment with wall-clock timing and
+  event/message rates (:class:`RunPerf`).
+* :func:`profile_run` — the same experiment under :mod:`cProfile`,
+  returning the hot-spot table as text.
+* :func:`write_bench` — dump a machine-readable benchmark payload
+  (``BENCH_simcore.json``) so every PR leaves a perf trajectory behind.
+
+Usage::
+
+    from repro.experiments import ExperimentConfig
+    from repro.profiling import measure_run, profile_run
+
+    result, perf = measure_run(ExperimentConfig(n_nodes=60))
+    print(f"{perf.events_per_sec:,.0f} events/sec")
+    print(profile_run(ExperimentConfig(n_nodes=60), top=15))
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import pstats
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any
+
+from .experiments.config import ExperimentConfig
+from .experiments.runner import ExperimentResult, run_experiment
+
+
+@dataclass(frozen=True)
+class RunPerf:
+    """Wall-clock performance counters for one simulation run."""
+
+    wall_seconds: float
+    events_processed: int
+    messages_delivered: int
+    events_per_sec: float
+    messages_per_sec: float
+    sim_seconds: float
+    sim_seconds_per_wall_second: float
+
+    def as_dict(self) -> dict[str, float]:
+        return asdict(self)
+
+
+def _perf(result: ExperimentResult, wall: float) -> RunPerf:
+    wall = max(wall, 1e-9)
+    return RunPerf(
+        wall_seconds=wall,
+        events_processed=result.events_processed,
+        messages_delivered=result.messages_delivered,
+        events_per_sec=result.events_processed / wall,
+        messages_per_sec=result.messages_delivered / wall,
+        sim_seconds=result.duration,
+        sim_seconds_per_wall_second=result.duration / wall,
+    )
+
+
+def measure_run(
+    config: ExperimentConfig,
+) -> tuple[ExperimentResult, RunPerf]:
+    """Run one experiment, returning its result and perf counters."""
+    start = time.perf_counter()
+    result, _log = run_experiment(config)
+    return result, _perf(result, time.perf_counter() - start)
+
+
+def best_of(config: ExperimentConfig, repeats: int = 3) -> RunPerf:
+    """The fastest of ``repeats`` measurements — least scheduler noise."""
+    if repeats < 1:
+        raise ValueError("need at least one repeat")
+    best: RunPerf | None = None
+    for _ in range(repeats):
+        _, perf = measure_run(config)
+        if best is None or perf.wall_seconds < best.wall_seconds:
+            best = perf
+    assert best is not None
+    return best
+
+
+def profile_run(
+    config: ExperimentConfig, top: int = 25, sort: str = "cumulative"
+) -> str:
+    """Run one experiment under cProfile; return the stats table."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        run_experiment(config)
+    finally:
+        profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.strip_dirs().sort_stats(sort).print_stats(top)
+    return buffer.getvalue()
+
+
+def write_bench(path: str | Path, payload: dict[str, Any]) -> Path:
+    """Write a benchmark payload as stable, diff-friendly JSON."""
+    target = Path(path)
+    target.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return target
+
+
+def update_bench(path: str | Path, section: str, payload: Any) -> Path:
+    """Merge one section into an existing benchmark JSON (or create it)."""
+    target = Path(path)
+    data: dict[str, Any] = {}
+    if target.exists():
+        data = json.loads(target.read_text(encoding="utf-8"))
+    data[section] = payload
+    return write_bench(target, data)

@@ -5,7 +5,13 @@ simulation replays identically — block hashes, arrival times, and all
 derived metrics.
 """
 
-from repro.experiments import ExperimentConfig, Protocol, run_experiment
+from repro.experiments import (
+    ExperimentConfig,
+    Protocol,
+    frequency_sweep,
+    run_experiment,
+)
+from repro.experiments.parallel import SweepExecutor
 
 CONFIG = ExperimentConfig(
     n_nodes=20,
@@ -49,3 +55,50 @@ def test_different_seeds_different_executions():
     _, log_a = run_experiment(CONFIG.with_(seed=1))
     _, log_b = run_experiment(CONFIG.with_(seed=2))
     assert _fingerprint(log_a) != _fingerprint(log_b)
+
+
+# -- parallel dispatch ------------------------------------------------------
+
+PARALLEL_BASE = ExperimentConfig(
+    n_nodes=12,
+    target_blocks=10,
+    target_key_blocks=4,
+    block_rate=0.1,
+    block_size_bytes=4000,
+    cooldown=15.0,
+)
+
+
+def test_parallel_executor_bit_identical_to_serial():
+    """Process-pool dispatch returns the exact serial results, in order.
+
+    ExperimentResult is a frozen dataclass of the config plus floats
+    and counters, so ``==`` here is bit-identical equality of every
+    metric of every run, whatever the worker count.
+    """
+    configs = [
+        PARALLEL_BASE.with_(protocol=protocol, seed=seed)
+        for protocol in (Protocol.BITCOIN, Protocol.BITCOIN_NG)
+        for seed in (0, 1, 2)
+    ]
+    serial = SweepExecutor(jobs=1).map(configs)
+    for workers in (2, 4):
+        assert SweepExecutor(jobs=workers).map(configs) == serial
+
+
+def test_parallel_sweep_matches_serial_sweep():
+    """A multi-seed sweep through the executor equals the serial path."""
+    kwargs = dict(
+        base=PARALLEL_BASE,
+        frequencies=(0.05, 0.2),
+        protocols=(Protocol.BITCOIN_NG,),
+        seeds=(0, 1),
+    )
+    serial = frequency_sweep(jobs=1, **kwargs)
+    parallel = frequency_sweep(jobs=3, **kwargs)
+    assert [(p.x, p.protocol) for p in parallel.points] == [
+        (p.x, p.protocol) for p in serial.points
+    ]
+    assert [p.results for p in parallel.points] == [
+        p.results for p in serial.points
+    ]

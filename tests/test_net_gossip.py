@@ -198,3 +198,90 @@ def test_honest_peers_accumulate_no_score():
     nodes[0].announce(b"\x0a" * 32, "block", None, 10)
     sim.run()
     assert all(not node.misbehavior for node in nodes)
+
+
+def test_locally_announced_invalid_object_not_relayed():
+    """The deliver() veto applies to announce, same as the remote path."""
+    sim = Simulator(seed=0)
+    net = Network(sim, complete_topology(3), constant_histogram(0.05), 1e6)
+    nodes = [VetoingNode(i, sim, net) for i in range(3)]
+    bad_id = b"\xbb" * 32
+    nodes[0].announce(bad_id, "block", None, 50)
+    sim.run()
+    # The originator vetoed its own object: dropped, remembered, never
+    # sent — no neighbor ever hears an inv for it.
+    assert not nodes[0].knows(bad_id)
+    assert all(not node.delivered for node in nodes[1:])
+    # And it cannot be re-announced into the store later.
+    nodes[0].announce(bad_id, "block", None, 50)
+    sim.run()
+    assert not nodes[0].knows(bad_id)
+
+
+def _stall_mesh(request_timeout=5.0):
+    sim = Simulator(seed=0)
+    net = Network(sim, complete_topology(3), constant_histogram(0.05), 1e6)
+    nodes = [
+        CountingNode(i, sim, net, request_timeout=request_timeout)
+        for i in range(3)
+    ]
+    return sim, net, nodes
+
+
+def test_request_timeout_retries_from_alternate_announcer():
+    """A getdata lost to churn no longer wedges the object forever.
+
+    Node 0 announces and goes offline before serving; node 2 later
+    announces the same object.  Node 1's outstanding request would
+    previously swallow node 2's inv permanently — now the timeout
+    retries from node 2.
+    """
+    sim, net, nodes = _stall_mesh()
+    obj_id = b"\x42" * 32
+    nodes[0].announce(obj_id, "block", None, 100)
+    # Invs land at ~0.05; the getdata responses would land at ~0.10.
+    # Node 0 churns out in between, so both responses are lost.
+    sim.schedule(0.06, lambda: net.set_offline(0))
+    sim.schedule(1.0, lambda: nodes[2].announce(obj_id, "block", None, 100))
+    sim.run()
+    assert nodes[1].knows(obj_id)
+    assert any(obj == obj_id for obj, _, _ in nodes[1].delivered)
+
+
+def test_request_timeout_clears_stuck_requested_entry():
+    """After a timeout with no fallback, a fresh inv re-requests."""
+    sim, net, nodes = _stall_mesh()
+    obj_id = b"\x43" * 32
+    nodes[0].announce(obj_id, "block", None, 100)
+    sim.schedule(0.06, lambda: net.set_offline(0))
+    sim.run()  # requests time out; nobody else has the object yet
+    assert not nodes[1].knows(obj_id)
+    # Much later, node 2 creates the object and invs go out afresh.
+    nodes[2].announce(obj_id, "block", None, 100)
+    sim.run()
+    assert nodes[1].knows(obj_id)
+
+
+def test_request_timeout_zero_disables_retry():
+    """timeout=0 reproduces the old stalling behaviour (opt-out)."""
+    sim, net, nodes = _stall_mesh(request_timeout=0.0)
+    obj_id = b"\x44" * 32
+    nodes[0].announce(obj_id, "block", None, 100)
+    sim.schedule(0.06, lambda: net.set_offline(0))
+    sim.schedule(1.0, lambda: nodes[2].announce(obj_id, "block", None, 100))
+    sim.run()
+    # Node 1's request is wedged forever: node 2's inv was ignored.
+    assert not nodes[1].knows(obj_id)
+
+
+def test_timely_delivery_cancels_retry_timer():
+    """A served request leaves no timer behind to fire spuriously."""
+    sim, net, nodes = _stall_mesh()
+    obj_id = b"\x45" * 32
+    nodes[0].announce(obj_id, "block", None, 100)
+    sim.run()
+    assert all(node.knows(obj_id) for node in nodes)
+    assert all(not node._request_timers for node in nodes)
+    assert all(not node._alt_sources for node in nodes)
+    # Exactly one delivery each despite timers having been armed.
+    assert all(len(node.delivered) == 1 for node in nodes)
