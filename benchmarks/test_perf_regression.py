@@ -26,7 +26,7 @@ import os
 import pathlib
 import time
 
-from repro.experiments import ExperimentConfig, Protocol
+from repro.experiments import ExperimentConfig, Protocol, run_experiment
 from repro.experiments.parallel import SweepExecutor
 from repro.net.simulator import Simulator
 from repro.profiling import best_of, update_bench
@@ -200,8 +200,87 @@ def test_sweep_parallel_identical_and_timed():
         assert speedup >= 2.0, f"parallel dispatch only {speedup:.2f}x"
 
 
+def test_obs_disabled_overhead():
+    """Disabled observability keeps the dispatch benchmark within 5%.
+
+    Interleaves rounds of the bare 200k-event pump with rounds of the
+    same pump under a disabled-observability install — exactly what
+    ``run_experiment`` does when ``--obs`` is not given.  The disabled
+    path adds nothing to ``Simulator.run`` (samplers are only scheduled
+    when enabled), so the two rates must be statistically identical;
+    the bound trips if anyone later threads per-event work into the
+    disabled path.
+    """
+    from repro.obs.facade import NULL_OBS
+
+    def one_round(install_obs: bool) -> float:
+        sim = Simulator(seed=0)
+        if install_obs:
+            NULL_OBS.install(sim, None, (), horizon=float(PUMP_EVENTS))
+        count = 0
+
+        def tick() -> None:
+            nonlocal count
+            count += 1
+            if count < PUMP_EVENTS:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(0.0, tick)
+        start = time.perf_counter()
+        sim.run()
+        return PUMP_EVENTS / (time.perf_counter() - start)
+
+    bare_rate = 0.0
+    disabled_rate = 0.0
+    # Interleave the A/B rounds so thermal or scheduler drift hits both
+    # measurements equally, then compare the bests.
+    for _ in range(3):
+        bare_rate = max(bare_rate, one_round(install_obs=False))
+        disabled_rate = max(disabled_rate, one_round(install_obs=True))
+
+    # Informative (unasserted): what turning observability fully on
+    # costs the real experiment hot path, for the docs.
+    obs_config = SWEEP_BASE.with_(seed=0)
+    start = time.perf_counter()
+    run_experiment(obs_config)
+    off_wall = time.perf_counter() - start
+    from repro.obs import Observability
+    from repro.obs.trace import MemorySink, Tracer
+
+    start = time.perf_counter()
+    run_experiment(obs_config, obs=Observability(tracer=Tracer(MemorySink())))
+    on_wall = time.perf_counter() - start
+
+    ratio = disabled_rate / bare_rate
+    update_bench(
+        BENCH_JSON,
+        "obs_overhead",
+        {
+            "pump_events": PUMP_EVENTS,
+            "bare_events_per_sec": round(bare_rate, 1),
+            "disabled_obs_events_per_sec": round(disabled_rate, 1),
+            "disabled_over_bare_ratio": round(ratio, 4),
+            "enabled_run_wall_seconds": round(on_wall, 3),
+            "disabled_run_wall_seconds": round(off_wall, 3),
+            "enabled_over_disabled_wall_ratio": round(
+                on_wall / max(off_wall, 1e-9), 3
+            ),
+        },
+    )
+    assert ratio >= 0.95, (
+        f"disabled observability cost {1 - ratio:.1%} of dispatch rate "
+        f"(bound: 5%)"
+    )
+
+
 def test_bench_json_is_valid():
     """The emitted trajectory file parses and has every section."""
     data = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
-    for section in ("event_core", "single_run", "sweep_dispatch", "baseline"):
+    for section in (
+        "event_core",
+        "single_run",
+        "sweep_dispatch",
+        "obs_overhead",
+        "baseline",
+    ):
         assert section in data, f"missing {section}"

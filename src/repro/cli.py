@@ -4,10 +4,14 @@ Examples::
 
     python -m repro run --protocol bitcoin-ng --nodes 100 \
         --block-rate 0.1 --block-size 20000
+    python -m repro run --protocol bitcoin-ng --obs out/ --json
     python -m repro sweep frequency --nodes 60
     python -m repro sweep size --nodes 60 --seeds 0 1
     python -m repro propagation --nodes 60
     python -m repro incentives --alpha 0.25
+    python -m repro trace summarize out/
+    python -m repro trace timeline out/ --buckets 30
+    python -m repro trace toptalkers out/ --top 10
 """
 
 from __future__ import annotations
@@ -51,29 +55,62 @@ def _cmd_run(args: argparse.Namespace) -> int:
         block_rate=args.block_rate,
         block_size_bytes=args.block_size,
         key_block_rate=args.key_block_rate,
+        obs_dir=args.obs,
     )
     if args.profile:
         from .profiling import profile_run
 
         print(profile_run(config, top=args.profile))
         return 0
-    import time
-
-    start = time.perf_counter()
     result, log = run_experiment(config)
-    wall = max(time.perf_counter() - start, 1e-9)
-    print(f"protocol:                {args.protocol}")
-    print(f"blocks generated:        {result.blocks_generated}")
-    print(f"main chain length:       {result.main_chain_length}")
-    for name, value in sorted(result.as_row().items()):
-        print(f"{name + ':':<25}{value:.4f}")
-    print(f"events processed:        {result.events_processed}")
-    print(f"events/sec:              {result.events_processed / wall:,.0f}")
+    # Event rate over the simulate phase only: topology construction is
+    # O(n^2) setup work and would dilute the number the dispatch loop
+    # actually achieves.
+    simulate_wall = max(result.wall_simulate_seconds, 1e-9)
+    events_per_sec = result.events_processed / simulate_wall
+    if args.json:
+        import json
+
+        payload: dict = {
+            "protocol": args.protocol,
+            "config": {
+                "n_nodes": config.n_nodes,
+                "seed": config.seed,
+                "target_blocks": config.target_blocks,
+                "block_rate": config.block_rate,
+                "block_size_bytes": config.block_size_bytes,
+                "key_block_rate": config.key_block_rate,
+            },
+            "metrics": result.as_row(),
+            "blocks_generated": result.blocks_generated,
+            "main_chain_length": result.main_chain_length,
+            "duration": result.duration,
+            "events_processed": result.events_processed,
+            "messages_delivered": result.messages_delivered,
+            "wall_setup_seconds": result.wall_setup_seconds,
+            "wall_simulate_seconds": result.wall_simulate_seconds,
+            "events_per_sec": events_per_sec,
+        }
+        if result.obs is not None:
+            payload["obs"] = result.obs
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"protocol:                {args.protocol}")
+        print(f"blocks generated:        {result.blocks_generated}")
+        print(f"main chain length:       {result.main_chain_length}")
+        for name, value in sorted(result.as_row().items()):
+            print(f"{name + ':':<25}{value:.4f}")
+        print(f"events processed:        {result.events_processed}")
+        print(f"events/sec:              {events_per_sec:,.0f}")
+        if result.obs is not None:
+            print(f"obs trace:               {result.obs.get('trace_path')}")
+            print(f"obs records:             {result.obs.get('trace_records')}")
     if args.save_trace:
         from .metrics import save_trace
 
         save_trace(log, args.save_trace)
-        print(f"trace saved:             {args.save_trace}")
+        if not args.json:
+            print(f"trace saved:             {args.save_trace}")
     return 0
 
 
@@ -81,16 +118,58 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from .experiments import sweep_chart
 
     base = _base_config(args)
+    if args.obs:
+        base = base.with_(obs_dir=args.obs)
     seeds = tuple(args.seeds)
     if args.axis == "frequency":
         sweep = frequency_sweep(base, seeds=seeds, jobs=args.jobs)
     else:
         sweep = size_sweep(base, seeds=seeds, jobs=args.jobs)
     print(format_sweep_table(sweep))
+    if args.obs:
+        cells = sum(1 for p in sweep.points for r in p.results if r.obs)
+        print(f"\nobs: {cells} per-cell traces + metric snapshots in {args.obs}")
     if args.chart:
         for metric in args.chart:
             print()
             print(sweep_chart(sweep, metric))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import (
+        find_traces,
+        format_summary,
+        format_timeline,
+        format_toptalkers,
+        load_records,
+        summarize,
+    )
+    from .obs.trace import TraceError
+
+    try:
+        traces = find_traces(args.path)
+    except TraceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    first = True
+    for path in traces:
+        if not first:
+            print()
+        first = False
+        try:
+            records = load_records(path)
+        except TraceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if args.trace_command == "summarize":
+            print(format_summary(summarize(records), name=path.name))
+        elif args.trace_command == "timeline":
+            print(f"== {path.name} ==")
+            print(format_timeline(records, buckets=args.buckets))
+        else:
+            print(f"== {path.name} ==")
+            print(format_toptalkers(records, top=args.top))
     return 0
 
 
@@ -136,6 +215,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="export the execution's observation log as JSON",
     )
     run_parser.add_argument(
+        "--obs",
+        metavar="DIR",
+        default=None,
+        help="enable the observability layer and write the event trace "
+        "and metric snapshot into DIR (analyze with `repro trace`)",
+    )
+    run_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output: all metrics plus events/sec "
+        "(timed over the simulate phase only)",
+    )
+    run_parser.add_argument(
         "--profile",
         type=int,
         nargs="?",
@@ -167,6 +259,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="METRIC",
         help="also render ASCII charts for these metrics",
     )
+    sweep_parser.add_argument(
+        "--obs",
+        metavar="DIR",
+        default=None,
+        help="write a per-cell event trace and metric snapshot into DIR",
+    )
     sweep_parser.set_defaults(handler=_cmd_sweep)
 
     prop_parser = commands.add_parser(
@@ -180,12 +278,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     inc_parser.add_argument("--alpha", type=float, default=0.25)
     inc_parser.set_defaults(handler=_cmd_incentives)
+
+    trace_parser = commands.add_parser(
+        "trace", help="analyze a saved observability trace offline"
+    )
+    trace_commands = trace_parser.add_subparsers(
+        dest="trace_command", required=True
+    )
+    summarize_parser = trace_commands.add_parser(
+        "summarize", help="aggregate counts, traffic, delays, and peaks"
+    )
+    summarize_parser.add_argument(
+        "path", help="a .trace.jsonl file or a directory of them"
+    )
+    timeline_parser = trace_commands.add_parser(
+        "timeline", help="bucketed activity over virtual time"
+    )
+    timeline_parser.add_argument(
+        "path", help="a .trace.jsonl file or a directory of them"
+    )
+    timeline_parser.add_argument(
+        "--buckets", type=int, default=20, help="number of time buckets"
+    )
+    talkers_parser = trace_commands.add_parser(
+        "toptalkers", help="rank nodes by bytes sent"
+    )
+    talkers_parser.add_argument(
+        "path", help="a .trace.jsonl file or a directory of them"
+    )
+    talkers_parser.add_argument(
+        "--top", type=int, default=10, help="how many nodes to list"
+    )
+    for sub in (summarize_parser, timeline_parser, talkers_parser):
+        sub.set_defaults(handler=_cmd_trace)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # Piping long output (e.g. `repro trace ... | head`) closes
+        # stdout early; exit quietly like any well-behaved filter.
+        sys.stderr.close()
+        return 0
 
 
 if __name__ == "__main__":

@@ -23,6 +23,7 @@ from ..ledger.utxo import UndoRecord, UtxoSet
 from ..ledger.validation import compute_fee, validate_spend
 from ..metrics.collector import BlockInfo, ObservationLog
 from ..net.gossip import GossipNode, RelayMode, StoredObject
+from ..obs.trace import short_hash
 from ..net.network import Network
 from ..net.simulator import Simulator
 from .blocks import (
@@ -132,6 +133,16 @@ class NGNode(GossipNode):
         self._known_leader_hashes: dict[bytes, bytes] = {
             genesis.header.leader_pubkey: genesis.hash
         }
+        registry = network.obs.registry
+        self._c_gen = registry.counter(
+            "node_blocks_generated", "blocks created, by kind", ("kind",)
+        )
+        self._c_tip = registry.counter(
+            "node_tip_changes", "main-chain tip movements across all nodes"
+        )
+        self._c_epochs = registry.counter(
+            "ng_leader_epochs", "leader epochs started across all nodes"
+        )
         if log is not None:
             log.record_tip(node_id, genesis.hash, sim.now)
 
@@ -172,6 +183,18 @@ class NGNode(GossipNode):
                 )
             )
             self.log.record_arrival(self.node_id, block.hash, self.sim.now)
+        self._c_gen.labels(kind=KIND_KEY).inc()
+        if self._tracer is not None:
+            self._tracer.emit(
+                "block_gen",
+                self.sim.now,
+                hash=short_hash(block.hash),
+                parent=short_hash(tip),
+                kind=KIND_KEY,
+                miner=self.node_id,
+                size=block.size,
+                n_tx=0,
+            )
         self.announce(block.hash, KIND_KEY, block, block.size)
         self._start_leading(block)
         return block
@@ -204,6 +227,14 @@ class NGNode(GossipNode):
 
     def _start_leading(self, key_block: KeyBlock) -> None:
         self._leading_epoch = key_block.hash
+        self._c_epochs.inc()
+        if self._tracer is not None:
+            self._tracer.emit(
+                "epoch_start",
+                self.sim.now,
+                leader=self.node_id,
+                key_block=short_hash(key_block.hash),
+            )
         self._schedule_microblock(
             at=key_block.header.timestamp + self.microblock_interval
         )
@@ -221,6 +252,13 @@ class NGNode(GossipNode):
 
     def _maybe_generate_microblock(self) -> None:
         if not self.is_leader():
+            if self._leading_epoch is not None and self._tracer is not None:
+                self._tracer.emit(
+                    "epoch_end",
+                    self.sim.now,
+                    leader=self.node_id,
+                    key_block=short_hash(self._leading_epoch),
+                )
             self._leading_epoch = None
             return
         tip_record = self.chain.tip_record
@@ -264,6 +302,18 @@ class NGNode(GossipNode):
                 )
             )
             self.log.record_arrival(self.node_id, micro.hash, self.sim.now)
+        self._c_gen.labels(kind=KIND_MICRO).inc()
+        if self._tracer is not None:
+            self._tracer.emit(
+                "block_gen",
+                self.sim.now,
+                hash=short_hash(micro.hash),
+                parent=short_hash(tip),
+                kind=KIND_MICRO,
+                miner=self.node_id,
+                size=micro.size,
+                n_tx=micro.n_tx,
+            )
         self.announce(micro.hash, KIND_MICRO, micro, micro.size)
         self._publish_poisons()
         return micro
@@ -319,8 +369,17 @@ class NGNode(GossipNode):
         return False  # unknown object kinds are not relayed
 
     def _deliver_key_block(self, block: KeyBlock, sender: int | None):
-        if self.log is not None and sender is not None:
-            self.log.record_arrival(self.node_id, block.hash, self.sim.now)
+        if sender is not None:
+            if self.log is not None:
+                self.log.record_arrival(self.node_id, block.hash, self.sim.now)
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "block_arrival",
+                    self.sim.now,
+                    node=self.node_id,
+                    hash=short_hash(block.hash),
+                    kind=KIND_KEY,
+                )
         if sender is not None:
             try:
                 check_key_block(block, require_pow=self.require_pow)
@@ -331,8 +390,17 @@ class NGNode(GossipNode):
         return self._add_and_apply(block, sender)
 
     def _deliver_microblock(self, micro: Microblock, sender: int | None):
-        if self.log is not None and sender is not None:
-            self.log.record_arrival(self.node_id, micro.hash, self.sim.now)
+        if sender is not None:
+            if self.log is not None:
+                self.log.record_arrival(self.node_id, micro.hash, self.sim.now)
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "block_arrival",
+                    self.sim.now,
+                    node=self.node_id,
+                    hash=short_hash(micro.hash),
+                    kind=KIND_MICRO,
+                )
         if sender is not None:
             try:
                 check_microblock_structure(
@@ -366,8 +434,18 @@ class NGNode(GossipNode):
             self.request_object(sender, parent_hash)
         for reorg in reorgs:
             self._apply_reorg(reorg)
-        if reorgs and self.log is not None:
-            self.log.record_tip(self.node_id, self.chain.tip, self.sim.now)
+        if reorgs:
+            if self.log is not None:
+                self.log.record_tip(self.node_id, self.chain.tip, self.sim.now)
+            self._c_tip.inc()
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "tip_change",
+                    self.sim.now,
+                    node=self.node_id,
+                    tip=short_hash(self.chain.tip),
+                    height=self.chain.tip_record.height,
+                )
 
     # -- state management ----------------------------------------------------
 

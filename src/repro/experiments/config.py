@@ -63,6 +63,16 @@ class ExperimentConfig:
     # heaviest-subtree rule instead of the heaviest chain (NG only).
     ng_ghost_fork_choice: bool = False
 
+    # Observability (repro.obs).  Setting ``obs_dir`` enables the full
+    # instrumentation layer — metric registry, JSONL event trace, and
+    # periodic samplers — writing per-run files into that directory.
+    # Living on the config means observability round-trips through
+    # process-pool sweep workers: each worker rebuilds its own
+    # instrumentation and writes files named by the cell's slug.
+    obs_dir: str | None = None
+    # Sampler period in virtual seconds (None → ~100 points per run).
+    obs_sample_period: float | None = None
+
     def __post_init__(self) -> None:
         if self.n_nodes < 2:
             raise ValueError("need at least two nodes")

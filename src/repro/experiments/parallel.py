@@ -48,6 +48,10 @@ def _run_one(config: ExperimentConfig) -> ExperimentResult:
     Only the :class:`ExperimentResult` crosses the process boundary;
     the observation log (every block arrival at every node) stays in
     the worker, keeping the pickling cost per cell trivial.
+    Observability round-trips too: a config with ``obs_dir`` set makes
+    the worker rebuild its own instrumentation, write the cell's trace
+    and metrics files (named by the cell's slug, so workers never
+    collide), and return the metric snapshot on ``result.obs``.
     """
     result, _log = run_experiment(config)
     return result

@@ -10,7 +10,8 @@ of 50–100 blocks, and the six Section 6 metrics computed afterwards.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 from ..bitcoin.blocks import make_genesis
 from ..bitcoin.chain import TieBreak
@@ -34,6 +35,7 @@ from ..net.latency import default_histogram
 from ..net.network import Network
 from ..net.simulator import Simulator
 from ..net.topology import random_topology
+from ..obs.facade import Observability
 from .config import ExperimentConfig, Protocol
 
 
@@ -54,6 +56,12 @@ class ExperimentResult:
     # Execution counters (perf accounting, not paper metrics).
     events_processed: int = 0
     messages_delivered: int = 0
+    # Wall-clock phases and the observability snapshot.  Excluded from
+    # equality: wall time is machine noise, and the snapshot must not
+    # break the parallel-equals-serial determinism guarantee.
+    wall_setup_seconds: float = field(default=0.0, compare=False)
+    wall_simulate_seconds: float = field(default=0.0, compare=False)
+    obs: dict | None = field(default=None, compare=False, repr=False)
 
     def as_row(self) -> dict[str, float]:
         """Flat numeric dict, convenient for table printing."""
@@ -68,7 +76,7 @@ class ExperimentResult:
 
 
 def build_network(
-    config: ExperimentConfig, sim: Simulator
+    config: ExperimentConfig, sim: Simulator, obs=None
 ) -> Network:
     """The Section 7 network: random graph + histogram latencies."""
     topo_rng = random.Random(config.seed * 7919 + 13)
@@ -83,13 +91,26 @@ def build_network(
         histogram,
         bandwidth_bps=config.bandwidth_bps,
         latency_rng=latency_rng,
+        obs=obs,
     )
 
 
-def run_experiment(config: ExperimentConfig) -> tuple[ExperimentResult, ObservationLog]:
-    """Run one full experiment and compute all metrics."""
+def run_experiment(
+    config: ExperimentConfig, obs=None
+) -> tuple[ExperimentResult, ObservationLog]:
+    """Run one full experiment and compute all metrics.
+
+    ``obs`` overrides the observability wiring (tests inject in-memory
+    sinks this way); by default it is built from the config —
+    :data:`~repro.obs.facade.NULL_OBS` unless ``config.obs_dir`` is
+    set.  Setup (topology, links, nodes) and simulation are timed
+    separately so event-rate figures cover only the simulate phase.
+    """
+    setup_started = time.perf_counter()
     sim = Simulator(seed=config.seed)
-    network = build_network(config, sim)
+    if obs is None:
+        obs = Observability.from_config(config)
+    network = build_network(config, sim, obs=obs)
     log = ObservationLog(config.n_nodes)
     shares = exponential_shares(config.n_nodes, config.power_exponent)
     if config.protocol is Protocol.BITCOIN_NG:
@@ -98,11 +119,29 @@ def run_experiment(config: ExperimentConfig) -> tuple[ExperimentResult, Observat
         nodes, scheduler = _setup_ghost(config, sim, network, log, shares)
     else:
         nodes, scheduler = _setup_bitcoin(config, sim, network, log, shares)
+    horizon = config.duration + config.cooldown
+    obs.install(
+        sim,
+        network,
+        nodes,
+        horizon,
+        meta={
+            "protocol": config.protocol.value,
+            "n_nodes": config.n_nodes,
+            "seed": config.seed,
+            "block_rate": config.block_rate,
+            "block_size_bytes": config.block_size_bytes,
+        },
+    )
+    wall_setup = time.perf_counter() - setup_started
+    simulate_started = time.perf_counter()
     scheduler.start()
     sim.run(until=config.duration)
     scheduler.stop()
-    sim.run(until=config.duration + config.cooldown)
-    log.finalize(config.duration + config.cooldown)
+    sim.run(until=horizon)
+    wall_simulate = time.perf_counter() - simulate_started
+    log.finalize(horizon)
+    snapshot = obs.finalize(network=network, end_time=horizon)
     result = ExperimentResult(
         config=config,
         consensus_delay=consensus_delay(log),
@@ -116,6 +155,9 @@ def run_experiment(config: ExperimentConfig) -> tuple[ExperimentResult, Observat
         duration=log.duration,
         events_processed=sim.events_processed,
         messages_delivered=network.messages_delivered,
+        wall_setup_seconds=wall_setup,
+        wall_simulate_seconds=wall_simulate,
+        obs=snapshot,
     )
     return result, log
 

@@ -23,6 +23,7 @@ from ..metrics.collector import BlockInfo, ObservationLog
 from ..net.gossip import GossipNode, RelayMode, StoredObject
 from ..net.network import Network
 from ..net.simulator import Simulator
+from ..obs.trace import short_hash
 from .chain import GhostTree
 
 
@@ -58,6 +59,13 @@ class GhostNode(GossipNode):
         self._block_counter = 0
         self.blocks_mined = 0
         self.blocks_rejected = 0
+        registry = network.obs.registry
+        self._c_gen = registry.counter(
+            "node_blocks_generated", "blocks created, by kind", ("kind",)
+        )
+        self._c_tip = registry.counter(
+            "node_tip_changes", "main-chain tip movements across all nodes"
+        )
         if log is not None:
             log.record_tip(node_id, genesis.hash, sim.now)
 
@@ -93,6 +101,18 @@ class GhostNode(GossipNode):
                 )
             )
             self.log.record_arrival(self.node_id, block.hash, self.sim.now)
+        self._c_gen.labels(kind=self.KIND).inc()
+        if self._tracer is not None:
+            self._tracer.emit(
+                "block_gen",
+                self.sim.now,
+                hash=short_hash(block.hash),
+                parent=short_hash(tip),
+                kind=self.KIND,
+                miner=self.node_id,
+                size=block.size,
+                n_tx=block.n_tx,
+            )
         self.announce(block.hash, self.KIND, block, block.size)
         return block
 
@@ -100,8 +120,17 @@ class GhostNode(GossipNode):
         if obj.kind != self.KIND:
             return False  # unknown object kinds are not relayed
         block: Block = obj.data
-        if self.log is not None and sender is not None:
-            self.log.record_arrival(self.node_id, block.hash, self.sim.now)
+        if sender is not None:
+            if self.log is not None:
+                self.log.record_arrival(self.node_id, block.hash, self.sim.now)
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "block_arrival",
+                    self.sim.now,
+                    node=self.node_id,
+                    hash=short_hash(block.hash),
+                    kind=self.KIND,
+                )
         if sender is not None:
             try:
                 check_block(block, require_pow=self.require_pow)
@@ -109,8 +138,17 @@ class GhostNode(GossipNode):
                 self.blocks_rejected += 1
                 return False
         reorgs = self.tree.add_block(block, self.sim.now)
-        if reorgs and self.log is not None:
-            self.log.record_tip(self.node_id, self.tree.tip, self.sim.now)
+        if reorgs:
+            if self.log is not None:
+                self.log.record_tip(self.node_id, self.tree.tip, self.sim.now)
+            self._c_tip.inc()
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "tip_change",
+                    self.sim.now,
+                    node=self.node_id,
+                    tip=short_hash(self.tree.tip),
+                )
 
     @property
     def tip(self) -> bytes:

@@ -19,6 +19,7 @@ import enum
 from dataclasses import dataclass
 from typing import Any
 
+from ..obs.trace import short_hash
 from .events import Event
 from .network import Message, Network
 from .simulator import Simulator
@@ -91,6 +92,9 @@ class GossipNode:
         # sets, not edge removal), so the neighbor list is cached once
         # instead of looked up per relayed object.
         self._neighbors: list[int] = network.neighbors(node_id)
+        # Observability: None when disabled, so tracing costs one
+        # attribute check at the (rare) sites that emit records.
+        self._tracer = network.tracer
         # DoS protection: peers accumulate misbehavior points for
         # invalid objects; at the threshold their traffic is ignored,
         # mirroring Bitcoin Core's ban score.
@@ -147,6 +151,15 @@ class GossipNode:
         if self.deliver(stored, sender=None) is False:
             self._store.pop(obj_id, None)
             self._rejected.add(obj_id)
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "obj_reject",
+                    self.sim.now,
+                    node=self.node_id,
+                    obj=short_hash(obj_id),
+                    kind=kind,
+                    sender=-1,
+                )
             return
         self._relay(stored, exclude=None)
 
@@ -219,6 +232,14 @@ class GossipNode:
             peer = alternates.pop(0)
             if not alternates:
                 del self._alt_sources[obj_id]
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "gossip_retry",
+                    self.sim.now,
+                    node=self.node_id,
+                    obj=short_hash(obj_id),
+                    peer=peer,
+                )
             self._request_from(peer, obj_id)
 
     def _on_inv(self, sender: int, payload: tuple[bytes, str]) -> None:
@@ -268,5 +289,14 @@ class GossipNode:
             self._store.pop(stored.obj_id, None)
             self._rejected.add(stored.obj_id)
             self.penalize(sender, self.invalid_object_penalty)
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "obj_reject",
+                    self.sim.now,
+                    node=self.node_id,
+                    obj=short_hash(stored.obj_id),
+                    kind=stored.kind,
+                    sender=sender,
+                )
             return
         self._relay(stored, exclude=sender)

@@ -13,6 +13,7 @@ import random
 from dataclasses import dataclass
 from typing import Any, Callable, Protocol
 
+from ..obs.facade import NULL_OBS
 from .latency import LatencyHistogram
 from .links import DEFAULT_BANDWIDTH_BPS, Link
 from .simulator import Simulator
@@ -48,9 +49,33 @@ class Network:
         latency_histogram: LatencyHistogram,
         bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
         latency_rng: random.Random | None = None,
+        obs=None,
     ) -> None:
         self.sim = sim
         self.topology = topology
+        # Observability: a single boolean guards the hot send path, so
+        # the disabled default costs one attribute check per message.
+        self.obs = obs if obs is not None else NULL_OBS
+        self.tracer = self.obs.tracer
+        self._obs_on = self.obs.enabled
+        registry = self.obs.registry
+        self._c_msgs = registry.counter(
+            "net_messages_sent",
+            "messages booked onto links, by wire kind",
+            labelnames=("kind",),
+        )
+        self._c_bytes = registry.counter(
+            "net_bytes_sent",
+            "payload bytes booked onto links, by wire kind",
+            labelnames=("kind",),
+        )
+        self._c_drops = registry.counter(
+            "net_sends_dropped", "sends discarded by churn or partitions"
+        )
+        self._h_queue_delay = registry.histogram(
+            "net_queue_delay_seconds",
+            "sender-side serialization queueing delay of bulk messages",
+        )
         self._adjacency = topology.neighbor_map()
         self._handlers: dict[int, MessageHandler] = {}
         self._offline: set[int] = set()
@@ -106,15 +131,31 @@ class Network:
         cannot know)."""
         offline = self._offline
         if offline and (src in offline or dst in offline):
+            if self._obs_on:
+                self._record_drop(src, dst, message)
             return
         # The frozenset allocation is only paid while a partition is
         # actually active — the overwhelmingly common case is no blocks.
         if self._blocked and frozenset((src, dst)) in self._blocked:
+            if self._obs_on:
+                self._record_drop(src, dst, message)
             return
         link = self._links.get((src, dst))
         if link is None:
             raise ValueError(f"nodes {src} and {dst} are not adjacent")
-        arrival = link.transfer(self.sim.now, message.size)
+        now = self.sim.now
+        if self._obs_on:
+            # Queueing delay must be read before the transfer books the
+            # link; interleaved small messages never queue.
+            queue_delay = (
+                link.queue_delay(now)
+                if message.size > link.interleave_cutoff
+                else 0.0
+            )
+            arrival = link.transfer(now, message.size)
+            self._record_send(src, dst, message, queue_delay, arrival)
+        else:
+            arrival = link.transfer(now, message.size)
         self.sim.schedule_at(arrival, self._deliver, src, dst, message)
 
     def broadcast(self, src: int, message: Message) -> None:
@@ -124,13 +165,99 @@ class Network:
 
     def _deliver(self, src: int, dst: int, message: Message) -> None:
         if dst in self._offline:
+            if self._obs_on:
+                self._record_drop(src, dst, message)
             return
         handler = self._handlers.get(dst)
         if handler is None:
             return
         self.messages_delivered += 1
         self.bytes_delivered += message.size
+        if self._obs_on and self.tracer is not None:
+            self.tracer.emit(
+                "deliver",
+                self.sim.now,
+                src=src,
+                dst=dst,
+                kind=message.kind,
+                size=message.size,
+            )
         handler.on_message(src, message)
+
+    # -- observability ------------------------------------------------------
+
+    def _record_send(
+        self,
+        src: int,
+        dst: int,
+        message: Message,
+        queue_delay: float,
+        arrival: float,
+    ) -> None:
+        kind = message.kind
+        self._c_msgs.labels(kind=kind).inc()
+        self._c_bytes.labels(kind=kind).inc(message.size)
+        self._h_queue_delay.observe(queue_delay)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "send",
+                self.sim.now,
+                src=src,
+                dst=dst,
+                kind=kind,
+                size=message.size,
+                qd=round(queue_delay, 6),
+                arr=round(arrival, 6),
+            )
+
+    def _record_drop(self, src: int, dst: int, message: Message) -> None:
+        self._c_drops.inc()
+        if self.tracer is not None:
+            self.tracer.emit(
+                "drop",
+                self.sim.now,
+                src=src,
+                dst=dst,
+                kind=message.kind,
+                size=message.size,
+            )
+
+    def link_utilization(self, now: float) -> tuple[int, int, float]:
+        """``(busy_links, total_links, queued_bytes)`` at instant ``now``.
+
+        A link is busy while a booked bulk transfer has not finished
+        serializing; its backlog in bytes is the remaining busy time
+        times its bandwidth.  Used by the periodic link sampler.
+        """
+        busy = 0
+        queued = 0.0
+        for link in self._links.values():
+            remaining = link.busy_until - now
+            if remaining > 0:
+                busy += 1
+                queued += remaining * link.bandwidth
+        return busy, len(self._links), queued
+
+    def traffic_by_node(self) -> list[dict[str, int]]:
+        """Per-node traffic totals from the per-link counters.
+
+        Sums each directed link's ``bytes_sent``/``messages_sent`` into
+        its endpoints: ``*_out`` at the source, ``*_in`` at the
+        destination.  "In" counts bytes *booked toward* a node — sent,
+        not necessarily delivered (churn can drop them in flight).
+        """
+        per_node = [
+            {"bytes_out": 0, "bytes_in": 0, "messages_out": 0, "messages_in": 0}
+            for _ in range(self.topology.n_nodes)
+        ]
+        for (src, dst), link in self._links.items():
+            out = per_node[src]
+            out["bytes_out"] += link.bytes_sent
+            out["messages_out"] += link.messages_sent
+            into = per_node[dst]
+            into["bytes_in"] += link.bytes_sent
+            into["messages_in"] += link.messages_sent
+        return per_node
 
     def total_bytes_queued(self) -> int:
         """Bytes ever booked onto links (sent, not necessarily delivered)."""

@@ -1,0 +1,80 @@
+"""Observability: metric registry, structured traces, periodic samplers.
+
+The instrumentation layer for the simulation stack.  See
+``docs/observability.md`` for usage; the short version::
+
+    from repro.experiments import ExperimentConfig, run_experiment
+
+    config = ExperimentConfig(obs_dir="out")   # enables everything
+    result, log = run_experiment(config)
+    # out/<slug>.trace.jsonl  — schema-versioned event trace
+    # out/<slug>.metrics.json — metric registry snapshot
+    # result.obs              — the same snapshot, in-process
+
+Disabled (the default) costs nothing measurable: hot paths hold either
+a live tracer or ``None`` and the null registry hands out no-op metric
+singletons.
+"""
+
+from .analyze import (
+    TraceSummary,
+    find_traces,
+    format_summary,
+    format_timeline,
+    format_toptalkers,
+    iter_records,
+    load_records,
+    summarize,
+)
+from .facade import NULL_OBS, Observability, config_slug
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricRegistry,
+    NULL_METRIC,
+    NULL_REGISTRY,
+    NullRegistry,
+)
+from .samplers import ForkSampler, LinkSampler, MempoolSampler, PeriodicSampler
+from .trace import (
+    JsonlSink,
+    MemorySink,
+    SCHEMA_VERSION,
+    TraceError,
+    Tracer,
+    short_hash,
+)
+
+__all__ = [
+    "Counter",
+    "ForkSampler",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "LinkSampler",
+    "MemorySink",
+    "MempoolSampler",
+    "MetricError",
+    "MetricRegistry",
+    "NULL_METRIC",
+    "NULL_OBS",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "Observability",
+    "PeriodicSampler",
+    "SCHEMA_VERSION",
+    "TraceError",
+    "TraceSummary",
+    "Tracer",
+    "config_slug",
+    "find_traces",
+    "format_summary",
+    "format_timeline",
+    "format_toptalkers",
+    "iter_records",
+    "load_records",
+    "short_hash",
+    "summarize",
+]

@@ -1,0 +1,300 @@
+"""Offline trace analysis: the engine behind ``repro trace``.
+
+Pure functions over saved JSONL traces — no simulator required — so a
+run captured once can be summarized, bucketed into a timeline, or
+ranked by per-node traffic long after (and far from) the machine that
+produced it.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter as TallyCounter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from .trace import SCHEMA_VERSION, TraceError
+
+TRACE_SUFFIX = ".trace.jsonl"
+
+
+def find_traces(path: str | Path) -> list[Path]:
+    """Trace files under ``path``: itself if a file, else ``*.trace.jsonl``."""
+    target = Path(path)
+    if target.is_file():
+        return [target]
+    if target.is_dir():
+        traces = sorted(target.glob(f"*{TRACE_SUFFIX}"))
+        if not traces:
+            raise TraceError(f"no {TRACE_SUFFIX} files under {target}")
+        return traces
+    raise TraceError(f"no such file or directory: {target}")
+
+
+def iter_records(path: str | Path) -> Iterator[dict]:
+    """Parse one JSONL trace, validating the schema version per record."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceError(
+                    f"{path}:{line_no}: not valid JSON: {exc}"
+                ) from exc
+            version = record.get("v")
+            if version != SCHEMA_VERSION:
+                raise TraceError(
+                    f"{path}:{line_no}: unsupported schema version {version!r}"
+                )
+            yield record
+
+
+def load_records(path: str | Path) -> list[dict]:
+    return list(iter_records(path))
+
+
+# -- summarize ---------------------------------------------------------------
+
+
+@dataclass
+class TraceSummary:
+    """Aggregates of one trace file."""
+
+    records: int = 0
+    t_min: float = 0.0
+    t_max: float = 0.0
+    events: dict[str, int] = field(default_factory=dict)
+    sends_by_kind: dict[str, int] = field(default_factory=dict)
+    bytes_by_kind: dict[str, int] = field(default_factory=dict)
+    queue_delay_count: int = 0
+    queue_delay_sum: float = 0.0
+    queue_delay_max: float = 0.0
+    blocks_by_kind: dict[str, int] = field(default_factory=dict)
+    tip_changes: int = 0
+    epochs_started: int = 0
+    epochs_ended: int = 0
+    gossip_retries: int = 0
+    rejects: int = 0
+    drops: int = 0
+    peak_queued_bytes: float = 0.0
+    peak_busy_fraction: float = 0.0
+    peak_mempool: int = 0
+    peak_tips: int = 0
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def queue_delay_mean(self) -> float:
+        if not self.queue_delay_count:
+            return 0.0
+        return self.queue_delay_sum / self.queue_delay_count
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_kind.values())
+
+
+def summarize(records: Iterable[dict]) -> TraceSummary:
+    """Fold a record stream into a :class:`TraceSummary`."""
+    summary = TraceSummary()
+    events: TallyCounter = TallyCounter()
+    t_min = None
+    t_max = None
+    for record in records:
+        ev = record["ev"]
+        events[ev] += 1
+        t = record.get("t", 0.0)
+        if ev not in ("trace_start", "trace_end"):
+            t_min = t if t_min is None else min(t_min, t)
+            t_max = t if t_max is None else max(t_max, t)
+        if ev == "trace_start":
+            summary.meta = {
+                k: v for k, v in record.items() if k not in ("v", "ev", "t")
+            }
+        elif ev == "send":
+            kind = record.get("kind", "?")
+            summary.sends_by_kind[kind] = summary.sends_by_kind.get(kind, 0) + 1
+            summary.bytes_by_kind[kind] = summary.bytes_by_kind.get(
+                kind, 0
+            ) + record.get("size", 0)
+            delay = record.get("qd", 0.0)
+            if delay > 0:
+                summary.queue_delay_count += 1
+                summary.queue_delay_sum += delay
+                summary.queue_delay_max = max(summary.queue_delay_max, delay)
+        elif ev == "block_gen":
+            kind = record.get("kind", "?")
+            summary.blocks_by_kind[kind] = (
+                summary.blocks_by_kind.get(kind, 0) + 1
+            )
+        elif ev == "tip_change":
+            summary.tip_changes += 1
+        elif ev == "epoch_start":
+            summary.epochs_started += 1
+        elif ev == "epoch_end":
+            summary.epochs_ended += 1
+        elif ev == "gossip_retry":
+            summary.gossip_retries += 1
+        elif ev == "obj_reject":
+            summary.rejects += 1
+        elif ev == "drop":
+            summary.drops += 1
+        elif ev == "sample_links":
+            summary.peak_queued_bytes = max(
+                summary.peak_queued_bytes, record.get("queued_bytes", 0.0)
+            )
+            summary.peak_busy_fraction = max(
+                summary.peak_busy_fraction, record.get("frac", 0.0)
+            )
+        elif ev == "sample_mempool":
+            summary.peak_mempool = max(
+                summary.peak_mempool, record.get("max", 0)
+            )
+        elif ev == "sample_forks":
+            summary.peak_tips = max(summary.peak_tips, record.get("tips", 0))
+    summary.events = dict(sorted(events.items()))
+    summary.records = sum(events.values())
+    summary.t_min = t_min if t_min is not None else 0.0
+    summary.t_max = t_max if t_max is not None else 0.0
+    return summary
+
+
+def format_summary(summary: TraceSummary, name: str = "") -> str:
+    """Human-readable report of one trace."""
+    lines: list[str] = []
+    if name:
+        lines.append(f"== {name} ==")
+    if summary.meta:
+        meta = ", ".join(f"{k}={v}" for k, v in sorted(summary.meta.items()))
+        lines.append(f"run:                 {meta}")
+    lines.append(f"records:             {summary.records}")
+    lines.append(
+        f"time span:           {summary.t_min:.1f} .. {summary.t_max:.1f} s"
+    )
+    for ev, count in summary.events.items():
+        lines.append(f"  {ev + ':':<19}{count}")
+    if summary.sends_by_kind:
+        lines.append("traffic by kind:")
+        for kind in sorted(summary.sends_by_kind):
+            lines.append(
+                f"  {kind + ':':<19}{summary.sends_by_kind[kind]} msgs, "
+                f"{summary.bytes_by_kind.get(kind, 0):,} bytes"
+            )
+        lines.append(f"total bytes sent:    {summary.total_bytes:,}")
+    lines.append(
+        "queueing delay:      "
+        f"{summary.queue_delay_count} delayed sends, "
+        f"mean {summary.queue_delay_mean:.3f} s, "
+        f"max {summary.queue_delay_max:.3f} s"
+    )
+    if summary.blocks_by_kind:
+        blocks = ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(summary.blocks_by_kind.items())
+        )
+        lines.append(f"blocks generated:    {blocks}")
+    lines.append(f"tip changes:         {summary.tip_changes}")
+    if summary.epochs_started or summary.epochs_ended:
+        lines.append(
+            f"leader epochs:       {summary.epochs_started} started, "
+            f"{summary.epochs_ended} ended"
+        )
+    if summary.gossip_retries or summary.rejects or summary.drops:
+        lines.append(
+            f"anomalies:           {summary.gossip_retries} retries, "
+            f"{summary.rejects} rejects, {summary.drops} drops"
+        )
+    lines.append(
+        "sampled peaks:       "
+        f"queued {summary.peak_queued_bytes:,.0f} B, "
+        f"busy {summary.peak_busy_fraction:.1%}, "
+        f"mempool {summary.peak_mempool}, "
+        f"tips {summary.peak_tips}"
+    )
+    return "\n".join(lines)
+
+
+# -- timeline ----------------------------------------------------------------
+
+
+def format_timeline(
+    records: Iterable[dict], buckets: int = 20, width: int = 40
+) -> str:
+    """Bucketed activity over virtual time, with an ASCII bytes bar."""
+    if buckets < 1:
+        raise ValueError("need at least one bucket")
+    rows = [
+        {"sends": 0, "bytes": 0, "blocks": 0, "tips": 0}
+        for _ in range(buckets)
+    ]
+    t_min = t_max = None
+    materialized = []
+    for record in records:
+        if record["ev"] in ("trace_start", "trace_end"):
+            continue
+        materialized.append(record)
+        t = record.get("t", 0.0)
+        t_min = t if t_min is None else min(t_min, t)
+        t_max = t if t_max is None else max(t_max, t)
+    if t_min is None:
+        return "(empty trace)"
+    span = max(t_max - t_min, 1e-9)
+    for record in materialized:
+        index = min(
+            int((record.get("t", 0.0) - t_min) / span * buckets), buckets - 1
+        )
+        row = rows[index]
+        ev = record["ev"]
+        if ev == "send":
+            row["sends"] += 1
+            row["bytes"] += record.get("size", 0)
+        elif ev == "block_gen":
+            row["blocks"] += 1
+        elif ev == "tip_change":
+            row["tips"] += 1
+    peak_bytes = max(row["bytes"] for row in rows) or 1
+    lines = [
+        f"{'t [s]':>12}  {'sends':>8}  {'bytes':>12}  {'blocks':>6}  "
+        f"{'tips':>5}  traffic"
+    ]
+    for index, row in enumerate(rows):
+        start = t_min + span * index / buckets
+        bar = "#" * round(row["bytes"] / peak_bytes * width)
+        lines.append(
+            f"{start:>12.1f}  {row['sends']:>8}  {row['bytes']:>12,}  "
+            f"{row['blocks']:>6}  {row['tips']:>5}  {bar}"
+        )
+    return "\n".join(lines)
+
+
+# -- toptalkers --------------------------------------------------------------
+
+
+def format_toptalkers(records: Iterable[dict], top: int = 10) -> str:
+    """Rank nodes by bytes booked onto their outgoing links."""
+    bytes_out: TallyCounter = TallyCounter()
+    msgs_out: TallyCounter = TallyCounter()
+    blocks_gen: TallyCounter = TallyCounter()
+    for record in records:
+        ev = record["ev"]
+        if ev == "send":
+            src = record.get("src")
+            bytes_out[src] += record.get("size", 0)
+            msgs_out[src] += 1
+        elif ev == "block_gen":
+            blocks_gen[record.get("miner")] += 1
+    if not bytes_out:
+        return "(no traffic recorded)"
+    lines = [f"{'node':>6}  {'bytes out':>14}  {'msgs out':>10}  {'blocks':>6}"]
+    ranked = sorted(
+        bytes_out.items(), key=lambda item: (-item[1], item[0])
+    )[:top]
+    for node, total in ranked:
+        lines.append(
+            f"{node:>6}  {total:>14,}  {msgs_out[node]:>10}  "
+            f"{blocks_gen.get(node, 0):>6}"
+        )
+    return "\n".join(lines)

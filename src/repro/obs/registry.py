@@ -1,0 +1,308 @@
+"""Labeled metric primitives and the registry that owns them.
+
+The paper's evaluation is entirely empirical, so the reproduction needs
+the same visibility into a run that the authors' testbed had: how much
+traffic each message kind generates, how congested links get, how often
+requests are retried.  This module provides Prometheus-shaped
+primitives — :class:`Counter`, :class:`Gauge`, :class:`Histogram`, each
+optionally labeled — collected into a :class:`MetricRegistry` whose
+snapshot is a plain, JSON-serializable dict.
+
+The **disabled path is a no-op singleton**: :data:`NULL_REGISTRY` hands
+out :data:`NULL_METRIC` for every metric, whose methods do nothing.
+Instrumented code can therefore create and update metrics
+unconditionally; when observability is off the cost is one no-op method
+call at rare call sites, and hot paths additionally guard with a single
+boolean so the cost there is one attribute check (the perf bound is
+pinned by ``benchmarks/test_perf_regression.py``).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable
+
+# Default histogram buckets, in seconds: spans sub-millisecond control
+# message delays up to the ~80 s a 1 MB block takes at 100 kbit/s.
+DEFAULT_BUCKETS = (
+    0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
+
+
+class MetricError(Exception):
+    """Raised on metric misuse (duplicate name, bad label, bad value)."""
+
+
+class _NullMetric:
+    """The shared no-op metric: every operation does nothing.
+
+    One instance (:data:`NULL_METRIC`) serves as counter, gauge, and
+    histogram at once, so disabled code paths never branch on type.
+    """
+
+    __slots__ = ()
+
+    def labels(self, **label_values: str):
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_METRIC = _NullMetric()
+
+
+class _Metric:
+    """Shared machinery: a named family with optional label children."""
+
+    kind = "metric"
+
+    def __init__(
+        self, name: str, help: str = "", labelnames: tuple[str, ...] = ()
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._children: dict[tuple[str, ...], "_Metric"] = {}
+
+    def labels(self, **label_values: str):
+        """The child metric for one label combination (created lazily)."""
+        if not self.labelnames:
+            raise MetricError(f"metric {self.name!r} has no labels")
+        try:
+            key = tuple(str(label_values[name]) for name in self.labelnames)
+        except KeyError as exc:
+            raise MetricError(
+                f"metric {self.name!r} expects labels {self.labelnames}"
+            ) from exc
+        child = self._children.get(key)
+        if child is None:
+            child = type(self)(self.name, self.help)
+            self._children[key] = child
+        return child
+
+    def _check_leaf(self) -> None:
+        if self.labelnames:
+            raise MetricError(
+                f"metric {self.name!r} is labeled; call .labels(...) first"
+            )
+
+    def _value_map(self) -> dict[str, object]:
+        """label-string → scalar value(s), '' for the unlabeled case."""
+        if not self.labelnames:
+            return {"": self._scalar()}
+        return {
+            ",".join(
+                f"{n}={v}" for n, v in zip(self.labelnames, key)
+            ): child._scalar()
+            for key, child in sorted(self._children.items())
+        }
+
+    def _scalar(self) -> object:
+        raise NotImplementedError
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "values": self._value_map(),
+        }
+
+
+class Counter(_Metric):
+    """A monotonically increasing count (messages sent, bytes, retries)."""
+
+    kind = "counter"
+
+    def __init__(
+        self, name: str, help: str = "", labelnames: tuple[str, ...] = ()
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricError("counters only go up")
+        self._check_leaf()
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _scalar(self) -> float:
+        return self._value
+
+
+class Gauge(_Metric):
+    """A value that goes up and down (mempool depth, queued bytes)."""
+
+    kind = "gauge"
+
+    def __init__(
+        self, name: str, help: str = "", labelnames: tuple[str, ...] = ()
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._check_leaf()
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._check_leaf()
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._check_leaf()
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _scalar(self) -> float:
+        return self._value
+
+
+class Histogram(_Metric):
+    """A distribution with fixed buckets (queueing delays, sizes)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: tuple[str, ...] = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        bounds = tuple(sorted(buckets))
+        if not bounds:
+            raise MetricError("histogram needs at least one bucket")
+        self._bounds = bounds
+        # One slot per bound plus the +Inf overflow slot.
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def labels(self, **label_values: str):
+        # Children inherit the parent's bucket layout.
+        if not self.labelnames:
+            raise MetricError(f"metric {self.name!r} has no labels")
+        try:
+            key = tuple(str(label_values[name]) for name in self.labelnames)
+        except KeyError as exc:
+            raise MetricError(
+                f"metric {self.name!r} expects labels {self.labelnames}"
+            ) from exc
+        child = self._children.get(key)
+        if child is None:
+            child = Histogram(self.name, self.help, buckets=self._bounds)
+            self._children[key] = child
+        return child
+
+    def observe(self, value: float) -> None:
+        self._check_leaf()
+        self._counts[bisect.bisect_left(self._bounds, value)] += 1
+        self._sum += value
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def _scalar(self) -> dict[str, object]:
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "buckets": {
+                str(bound): count
+                for bound, count in zip(self._bounds, self._counts)
+            },
+            "overflow": self._counts[-1],
+        }
+
+
+class MetricRegistry:
+    """Owns every metric of one run; snapshots to a plain dict."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+
+    def _register(self, cls: type, name: str, **kwargs) -> _Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls:
+                raise MetricError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            return existing
+        metric = cls(name, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(
+        self, name: str, help: str = "", labelnames: tuple[str, ...] = ()
+    ) -> Counter:
+        return self._register(Counter, name, help=help, labelnames=labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: tuple[str, ...] = ()
+    ) -> Gauge:
+        return self._register(Gauge, name, help=help, labelnames=labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: tuple[str, ...] = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._register(
+            Histogram, name, help=help, labelnames=labelnames, buckets=buckets
+        )
+
+    def collect(self) -> dict[str, dict[str, object]]:
+        """A deterministic, JSON-serializable snapshot of every metric."""
+        return {
+            name: metric.snapshot()
+            for name, metric in sorted(self._metrics.items())
+        }
+
+
+class NullRegistry:
+    """The disabled registry: every request returns :data:`NULL_METRIC`."""
+
+    enabled = False
+
+    def counter(self, name, help="", labelnames=()) -> _NullMetric:
+        return NULL_METRIC
+
+    def gauge(self, name, help="", labelnames=()) -> _NullMetric:
+        return NULL_METRIC
+
+    def histogram(self, name, help="", labelnames=(), buckets=()) -> _NullMetric:
+        return NULL_METRIC
+
+    def collect(self) -> dict:
+        return {}
+
+
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,188 @@
+"""Periodic samplers: time series the end-of-run metrics cannot show.
+
+End-of-run aggregates say *what* a run produced; the congested and
+adversarial regimes the related work probes need *how* it unfolded —
+link saturation climbing, mempools backing up, fork churn around leader
+changes.  Each sampler schedules itself on the :class:`Simulator` at a
+fixed period, reads state without mutating anything (and without
+touching the simulation RNG, preserving bit-identical results), emits
+one trace record, and updates gauges in the registry.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+class PeriodicSampler:
+    """Base: fires :meth:`sample` every ``period`` virtual seconds.
+
+    Sampling starts one period after :meth:`start` and stops after
+    ``until`` (the simulator also naturally stops it when the run's
+    horizon ends).  Subclasses must not mutate simulation state or draw
+    from ``sim.rng``.
+    """
+
+    def __init__(self, period: float, until: float | None = None) -> None:
+        if period <= 0:
+            raise ValueError(f"sampler period must be positive, got {period}")
+        self.period = period
+        self.until = until
+        self.samples_taken = 0
+        self._sim = None
+
+    def start(self, sim) -> None:
+        self._sim = sim
+        sim.schedule(self.period, self._fire)
+
+    def _fire(self) -> None:
+        sim = self._sim
+        if self.until is not None and sim.now > self.until + 1e-12:
+            return
+        self.sample(sim.now)
+        self.samples_taken += 1
+        next_time = sim.now + self.period
+        if self.until is None or next_time <= self.until + 1e-12:
+            sim.schedule(self.period, self._fire)
+
+    def sample(self, now: float) -> None:
+        raise NotImplementedError
+
+
+class LinkSampler(PeriodicSampler):
+    """Busy fraction and queued bytes across every directed link."""
+
+    def __init__(
+        self,
+        network,
+        tracer=None,
+        registry=None,
+        period: float = 1.0,
+        until: float | None = None,
+    ) -> None:
+        super().__init__(period, until)
+        self.network = network
+        self.tracer = tracer
+        if registry is not None:
+            self._g_busy = registry.gauge(
+                "obs_link_busy_fraction",
+                "fraction of directed links mid-serialization at sample time",
+            )
+            self._g_queued = registry.gauge(
+                "obs_link_queued_bytes",
+                "bytes awaiting serialization across all links at sample time",
+            )
+            self._g_peak = registry.gauge(
+                "obs_link_queued_bytes_peak",
+                "largest queued-bytes sample seen during the run",
+            )
+        else:
+            self._g_busy = self._g_queued = self._g_peak = None
+        self._peak = 0.0
+
+    def sample(self, now: float) -> None:
+        busy, total, queued = self.network.link_utilization(now)
+        fraction = busy / total if total else 0.0
+        if queued > self._peak:
+            self._peak = queued
+        if self._g_busy is not None:
+            self._g_busy.set(fraction)
+            self._g_queued.set(queued)
+            self._g_peak.set(self._peak)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "sample_links",
+                now,
+                busy=busy,
+                links=total,
+                frac=round(fraction, 6),
+                queued_bytes=round(queued, 1),
+            )
+
+
+class MempoolSampler(PeriodicSampler):
+    """Per-node mempool depth, summarized as min/mean/max/total."""
+
+    def __init__(
+        self,
+        nodes: Sequence,
+        tracer=None,
+        registry=None,
+        period: float = 1.0,
+        until: float | None = None,
+    ) -> None:
+        super().__init__(period, until)
+        self.nodes = nodes
+        self.tracer = tracer
+        if registry is not None:
+            self._g_total = registry.gauge(
+                "obs_mempool_txs_total",
+                "pending transactions summed over all nodes at sample time",
+            )
+            self._g_max = registry.gauge(
+                "obs_mempool_txs_max",
+                "deepest single-node mempool at sample time",
+            )
+        else:
+            self._g_total = self._g_max = None
+
+    def sample(self, now: float) -> None:
+        # Not every protocol node keeps a mempool (GHOST nodes mine
+        # synthetic payloads directly); treat those as empty.
+        depths = [len(getattr(node, "mempool", ())) for node in self.nodes]
+        total = sum(depths)
+        deepest = max(depths) if depths else 0
+        if self._g_total is not None:
+            self._g_total.set(total)
+            self._g_max.set(deepest)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "sample_mempool",
+                now,
+                total=total,
+                min=min(depths) if depths else 0,
+                max=deepest,
+                mean=round(total / len(depths), 3) if depths else 0.0,
+            )
+
+
+class ForkSampler(PeriodicSampler):
+    """Fork churn: how many distinct tips the network holds right now.
+
+    One tip means full agreement; more means in-flight forks — the
+    paper's subjective-fork regime made visible over time.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence,
+        tracer=None,
+        registry=None,
+        period: float = 1.0,
+        until: float | None = None,
+    ) -> None:
+        super().__init__(period, until)
+        self.nodes = nodes
+        self.tracer = tracer
+        if registry is not None:
+            self._g_tips = registry.gauge(
+                "obs_distinct_tips",
+                "distinct main-chain tips across nodes at sample time",
+            )
+            self._g_peak = registry.gauge(
+                "obs_distinct_tips_peak",
+                "largest distinct-tip sample seen during the run",
+            )
+        else:
+            self._g_tips = self._g_peak = None
+        self._peak = 0
+
+    def sample(self, now: float) -> None:
+        tips = len({node.tip for node in self.nodes})
+        if tips > self._peak:
+            self._peak = tips
+        if self._g_tips is not None:
+            self._g_tips.set(tips)
+            self._g_peak.set(self._peak)
+        if self.tracer is not None:
+            self.tracer.emit("sample_forks", now, tips=tips)

@@ -1,0 +1,116 @@
+"""Structured event traces: schema-versioned JSONL records.
+
+A :class:`Tracer` turns instrumented call sites into one flat JSON
+object per line in a pluggable :class:`TraceSink`.  Every record carries
+the schema version (``v``), the event name (``ev``), and the virtual
+timestamp (``t``); the remaining fields are event-specific.  Block
+hashes appear as 12-hex-char prefixes — unambiguous within a run and a
+quarter the bytes of the full digest.
+
+Record vocabulary (schema version 1):
+
+======================  ====================================================
+``trace_start``         run metadata (protocol, nodes, seed)
+``send``                a message booked onto a link (src, dst, kind, size,
+                        qd = sender-side queueing delay, arr = arrival time)
+``drop``                a send discarded by churn or a partition
+``deliver``             a message handed to the destination handler
+``gossip_retry``        a getdata timed out and was retried elsewhere
+``obj_reject``          a delivered object failed validation (veto)
+``block_gen``           a block was created (hash, kind, miner, size, n_tx)
+``block_arrival``       a node first learned of a block
+``tip_change``          a node's main-chain tip moved
+``epoch_start``         an NG node became leader (its key block heads the
+                        chain)
+``epoch_end``           an NG node observed loss of its leadership
+``sample_links``        periodic: busy links, busy fraction, queued bytes
+``sample_mempool``      periodic: per-node mempool depth summary
+``sample_forks``        periodic: distinct tips across nodes
+``trace_end``           final counters, closes the file
+======================  ====================================================
+
+The schema is append-only: new record types or fields may appear within
+a version; removals or meaning changes bump ``SCHEMA_VERSION``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO
+
+SCHEMA_VERSION = 1
+
+
+class TraceError(Exception):
+    """Raised when a trace cannot be written or understood."""
+
+
+class JsonlSink:
+    """Appends records to a ``.jsonl`` file, one compact object per line."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._file: IO[str] | None = None
+        self.records_written = 0
+
+    def write(self, record: dict) -> None:
+        if self._file is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = self.path.open("w", encoding="utf-8")
+        self._file.write(json.dumps(record, separators=(",", ":")))
+        self._file.write("\n")
+        self.records_written += 1
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+class MemorySink:
+    """Keeps records in a list — unit tests and in-process analysis."""
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    @property
+    def records_written(self) -> int:
+        return len(self.records)
+
+    def write(self, record: dict) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        pass
+
+
+def short_hash(block_hash: bytes) -> str:
+    """The 12-hex-char prefix used for hashes in trace records."""
+    return block_hash.hex()[:12]
+
+
+class Tracer:
+    """Emits schema-versioned records into a sink.
+
+    Instrumented code holds either a ``Tracer`` or ``None``; hot paths
+    guard with ``if tracer is not None`` so a disabled run pays one
+    attribute check and nothing else.
+    """
+
+    __slots__ = ("sink",)
+
+    def __init__(self, sink) -> None:
+        self.sink = sink
+
+    @property
+    def records_written(self) -> int:
+        return self.sink.records_written
+
+    def emit(self, ev: str, t: float, **fields) -> None:
+        record = {"v": SCHEMA_VERSION, "ev": ev, "t": t}
+        record.update(fields)
+        self.sink.write(record)
+
+    def close(self) -> None:
+        self.sink.close()

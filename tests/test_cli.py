@@ -84,6 +84,100 @@ def test_run_with_trace_export(tmp_path, capsys):
     assert log.n_nodes == 12
 
 
+def test_run_json_output(capsys):
+    import json
+
+    code = main(
+        [
+            "run",
+            "--protocol", "bitcoin",
+            "--nodes", "12",
+            "--blocks", "8",
+            "--block-rate", "0.1",
+            "--block-size", "3000",
+            "--json",
+        ]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["protocol"] == "bitcoin"
+    assert payload["config"]["n_nodes"] == 12
+    assert set(payload["metrics"]) >= {
+        "consensus_delay", "fairness", "mining_power_utilization",
+    }
+    assert payload["events_processed"] > 0
+    assert payload["events_per_sec"] > 0
+    # Rate is timed over the simulate phase only.
+    assert payload["events_per_sec"] == pytest.approx(
+        payload["events_processed"] / payload["wall_simulate_seconds"],
+        rel=1e-6,
+    )
+    assert "obs" not in payload  # not enabled on this run
+
+
+def test_run_obs_then_trace_subcommands(tmp_path, capsys):
+    obs_dir = tmp_path / "obs"
+    code = main(
+        [
+            "run",
+            "--protocol", "bitcoin-ng",
+            "--nodes", "12",
+            "--blocks", "8",
+            "--block-rate", "0.2",
+            "--key-block-rate", "0.05",
+            "--block-size", "3000",
+            "--obs", str(obs_dir),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "obs trace:" in out
+    traces = list(obs_dir.glob("*.trace.jsonl"))
+    assert len(traces) == 1
+    assert len(list(obs_dir.glob("*.metrics.json"))) == 1
+
+    assert main(["trace", "summarize", str(obs_dir)]) == 0
+    summary = capsys.readouterr().out
+    assert traces[0].name in summary
+    assert "blocks generated:" in summary
+    assert "leader epochs:" in summary
+
+    assert main(["trace", "timeline", str(obs_dir), "--buckets", "5"]) == 0
+    timeline = capsys.readouterr().out
+    assert len(timeline.strip().splitlines()) == 7  # name + header + 5 rows
+
+    assert main(["trace", "toptalkers", str(obs_dir), "--top", "3"]) == 0
+    talkers = capsys.readouterr().out
+    assert "bytes out" in talkers
+
+
+def test_run_obs_json_includes_snapshot(tmp_path, capsys):
+    import json
+
+    code = main(
+        [
+            "run",
+            "--protocol", "bitcoin",
+            "--nodes", "12",
+            "--blocks", "6",
+            "--block-rate", "0.1",
+            "--block-size", "3000",
+            "--obs", str(tmp_path),
+            "--json",
+        ]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["obs"]["snapshot_version"] == 1
+    assert "net_messages_sent" in payload["obs"]["metrics"]
+
+
+def test_trace_errors_on_missing_path(tmp_path, capsys):
+    code = main(["trace", "summarize", str(tmp_path / "nowhere")])
+    assert code == 1
+    assert "error:" in capsys.readouterr().err
+
+
 def test_sweep_with_chart(capsys):
     code = main(
         ["sweep", "frequency", "--nodes", "10", "--blocks", "6",

@@ -57,6 +57,29 @@ def test_different_seeds_different_executions():
     assert _fingerprint(log_a) != _fingerprint(log_b)
 
 
+# -- observability ----------------------------------------------------------
+
+
+def test_instrumented_run_bit_identical_to_bare_run():
+    """Tracing and sampling must not disturb the simulation.
+
+    Samplers consume event-queue sequence numbers but never reorder
+    protocol events or draw from the simulation RNG, so every block
+    hash, arrival time, and derived metric matches the bare run.
+    (``events_processed`` is excluded: sampler firings are real events.)
+    """
+    from repro.obs import Observability
+    from repro.obs.trace import MemorySink, Tracer
+
+    for protocol in (Protocol.BITCOIN, Protocol.BITCOIN_NG, Protocol.GHOST):
+        config = CONFIG.with_(protocol=protocol)
+        bare_result, bare_log = run_experiment(config)
+        obs = Observability(tracer=Tracer(MemorySink()))
+        traced_result, traced_log = run_experiment(config, obs=obs)
+        assert _fingerprint(traced_log) == _fingerprint(bare_log)
+        assert traced_result.as_row() == bare_result.as_row()
+
+
 # -- parallel dispatch ------------------------------------------------------
 
 PARALLEL_BASE = ExperimentConfig(

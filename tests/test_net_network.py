@@ -109,6 +109,94 @@ def test_message_size_validation():
         Message("bad", None, -1)
 
 
+def test_traffic_by_node_sums_link_counters():
+    sim, net, _ = _network(n=3)
+    net.send(0, 1, Message("a", None, 100))
+    net.send(0, 2, Message("b", None, 250))
+    net.send(1, 0, Message("c", None, 40))
+    sim.run()
+    traffic = net.traffic_by_node()
+    assert traffic[0] == {
+        "bytes_out": 350, "bytes_in": 40,
+        "messages_out": 2, "messages_in": 1,
+    }
+    assert traffic[1]["bytes_in"] == 100
+    assert traffic[2] == {
+        "bytes_out": 0, "bytes_in": 250,
+        "messages_out": 0, "messages_in": 1,
+    }
+    # Conservation: every byte out lands as a byte in somewhere.
+    assert sum(t["bytes_out"] for t in traffic) == net.total_bytes_queued()
+    assert sum(t["bytes_in"] for t in traffic) == net.total_bytes_queued()
+
+
+def test_traffic_by_node_counts_booked_not_delivered():
+    sim, net, sinks = _network()
+    net.send(0, 1, Message("x", None, 500))
+    net.set_offline(1)  # goes dark while the message is in flight
+    sim.run()
+    assert sinks[1].received == []
+    assert net.traffic_by_node()[1]["bytes_in"] == 500
+
+
+def test_link_utilization_tracks_serialization():
+    sim, net, _ = _network(bandwidth=1000.0)
+    busy, total, queued = net.link_utilization(sim.now)
+    assert (busy, queued) == (0, 0.0)
+    assert total == 6  # complete 3-node graph, one link per direction
+    # 4000 bytes at 1000 B/s is bulk (above the interleave cutoff) and
+    # holds the 0→1 link for 4 s.
+    net.send(0, 1, Message("bulk", None, 4000))
+    busy, _, queued = net.link_utilization(sim.now)
+    assert busy == 1
+    assert queued == pytest.approx(4000.0)
+    busy, _, queued = net.link_utilization(sim.now + 2.0)
+    assert queued == pytest.approx(2000.0)
+    sim.run()
+    busy, _, queued = net.link_utilization(sim.now)
+    assert (busy, queued) == (0, 0.0)
+
+
+def _obs_network():
+    from repro.obs import Observability
+    from repro.obs.trace import MemorySink, Tracer
+
+    sim = Simulator(seed=0)
+    sink = MemorySink()
+    obs = Observability(tracer=Tracer(sink))
+    net = Network(
+        sim, complete_topology(3), constant_histogram(0.1), 1000.0, obs=obs
+    )
+    for i in range(3):
+        net.attach(i, Recorder(sim))
+    return sim, net, obs, sink
+
+
+def test_instrumented_send_updates_counters_and_trace():
+    sim, net, obs, sink = _obs_network()
+    net.send(0, 1, Message("inv", None, 61))
+    sim.run()
+    metrics = obs.registry.collect()
+    assert metrics["net_messages_sent"]["values"] == {"kind=inv": 1.0}
+    assert metrics["net_bytes_sent"]["values"] == {"kind=inv": 61.0}
+    events = [r["ev"] for r in sink.records]
+    assert events == ["send", "deliver"]
+    assert sink.records[0]["src"] == 0
+    assert sink.records[0]["dst"] == 1
+
+
+def test_instrumented_drops_are_recorded():
+    sim, net, obs, sink = _obs_network()
+    net.set_offline(1)
+    net.send(0, 1, Message("inv", None, 61))
+    net.block_link(0, 2)
+    net.send(0, 2, Message("inv", None, 61))
+    sim.run()
+    counter = obs.registry.counter("net_sends_dropped")
+    assert counter.value == 2
+    assert [r["ev"] for r in sink.records] == ["drop", "drop"]
+
+
 def test_key_block_sized_message_overtakes_bulk_transfer():
     """A tiny message sent after a large one still arrives first.
 

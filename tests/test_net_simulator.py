@@ -50,6 +50,69 @@ def test_max_events_bound():
     assert sim.events_processed == 10
 
 
+def test_cancelled_event_at_heap_top_with_until():
+    """A cancelled head event is reaped, not mistaken for the horizon."""
+    sim = Simulator()
+    fired = []
+    doomed = sim.schedule(5.0, lambda: fired.append("doomed"))
+    sim.schedule(10.0, lambda: fired.append("live"))
+    doomed.cancel()
+    sim.run(until=7.0)
+    # The cancelled event at t=5 sat at the heap top; the loop must
+    # skip it and still honour the time bound for the t=10 event.
+    assert fired == []
+    assert sim.now == 7.0
+    assert sim.events_processed == 0
+    sim.run()
+    assert fired == ["live"]
+    assert sim.events_processed == 1
+
+
+def test_cancelled_events_do_not_consume_max_events_budget():
+    sim = Simulator()
+    fired = []
+    for _ in range(3):
+        sim.schedule(1.0, lambda: fired.append("doomed")).cancel()
+    sim.schedule(2.0, lambda: fired.append("a"))
+    sim.schedule(3.0, lambda: fired.append("b"))
+    sim.run(max_events=1)
+    # Three cancelled events were popped first; only live callbacks
+    # count against the budget.
+    assert fired == ["a"]
+    assert sim.events_processed == 1
+
+
+def test_events_processed_accumulates_across_runs():
+    sim = Simulator()
+    for delay in (1.0, 2.0, 3.0, 4.0):
+        sim.schedule(delay, lambda: None)
+    sim.run(until=2.0)
+    assert sim.events_processed == 2
+    sim.run(max_events=1)
+    assert sim.events_processed == 3
+    sim.run()
+    assert sim.events_processed == 4
+    # Draining an empty queue leaves the counter untouched.
+    sim.run()
+    assert sim.events_processed == 4
+
+
+def test_events_processed_counts_callbacks_that_raise():
+    sim = Simulator()
+
+    def boom():
+        raise RuntimeError("boom")
+
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, boom)
+    with pytest.raises(RuntimeError):
+        sim.run()
+    # The finally block still credits the events that completed before
+    # the raising callback; the raising one itself never counts.
+    assert sim.events_processed == 1
+    assert sim.now == 2.0
+
+
 def test_schedule_at_past_rejected():
     sim = Simulator()
     sim.schedule(1.0, lambda: None)

@@ -1,0 +1,129 @@
+"""Offline trace analysis: find, summarize, timeline, toptalkers."""
+
+import pytest
+
+from repro.obs.analyze import (
+    find_traces,
+    format_summary,
+    format_timeline,
+    format_toptalkers,
+    summarize,
+)
+from repro.obs.trace import SCHEMA_VERSION, TraceError
+
+
+def _rec(ev, t, **fields):
+    return {"v": SCHEMA_VERSION, "ev": ev, "t": t, **fields}
+
+
+SAMPLE = [
+    _rec("trace_start", 0.0, protocol="bitcoin-ng", seed=3),
+    _rec("send", 1.0, src=0, dst=1, kind="inv", size=61, qd=0.0),
+    _rec("send", 2.0, src=0, dst=1, kind="block", size=5000, qd=0.4),
+    _rec("send", 9.0, src=2, dst=0, kind="block", size=7000, qd=1.2),
+    _rec("block_gen", 2.0, hash="ab", kind="key", miner=0, size=200, n_tx=0),
+    _rec("block_gen", 5.0, hash="cd", kind="micro", miner=0, size=5000, n_tx=20),
+    _rec("tip_change", 5.5, node=1, tip="cd"),
+    _rec("epoch_start", 2.0, leader=0, key_block="ab"),
+    _rec("epoch_end", 8.0, leader=0, key_block="ab"),
+    _rec("gossip_retry", 6.0, node=1, obj="cd", peer=2),
+    _rec("obj_reject", 6.5, node=2, obj="ef", kind="block", sender=0),
+    _rec("drop", 7.0, src=0, dst=2, kind="inv", size=61),
+    _rec("sample_links", 4.0, busy=3, links=10, frac=0.3, queued_bytes=900.0),
+    _rec("sample_mempool", 4.0, total=50, min=1, max=30, mean=16.7),
+    _rec("sample_forks", 4.0, tips=2),
+    _rec("trace_end", 100.0, records=16),
+]
+
+
+def test_summarize_aggregates_everything():
+    s = summarize(SAMPLE)
+    assert s.records == len(SAMPLE)
+    assert s.meta == {"protocol": "bitcoin-ng", "seed": 3}
+    # trace_start/trace_end timestamps are excluded from the span.
+    assert s.t_min == 1.0
+    assert s.t_max == 9.0
+    assert s.events["send"] == 3
+    assert s.sends_by_kind == {"inv": 1, "block": 2}
+    assert s.bytes_by_kind == {"inv": 61, "block": 12000}
+    assert s.total_bytes == 12061
+    assert s.queue_delay_count == 2  # qd == 0 is not "delayed"
+    assert s.queue_delay_mean == pytest.approx(0.8)
+    assert s.queue_delay_max == 1.2
+    assert s.blocks_by_kind == {"key": 1, "micro": 1}
+    assert s.tip_changes == 1
+    assert s.epochs_started == 1
+    assert s.epochs_ended == 1
+    assert s.gossip_retries == 1
+    assert s.rejects == 1
+    assert s.drops == 1
+    assert s.peak_queued_bytes == 900.0
+    assert s.peak_busy_fraction == 0.3
+    assert s.peak_mempool == 30
+    assert s.peak_tips == 2
+
+
+def test_format_summary_mentions_the_headlines():
+    text = format_summary(summarize(SAMPLE), name="demo")
+    assert "== demo ==" in text
+    assert "protocol=bitcoin-ng" in text
+    assert "key=1, micro=1" in text
+    assert "leader epochs:       1 started, 1 ended" in text
+    assert "1 retries, 1 rejects, 1 drops" in text
+    assert "total bytes sent:    12,061" in text
+
+
+def test_summarize_empty_stream():
+    s = summarize([])
+    assert s.records == 0
+    assert s.t_min == 0.0 and s.t_max == 0.0
+    format_summary(s)  # renders without crashing
+
+
+def test_timeline_buckets_activity():
+    text = format_timeline(SAMPLE, buckets=4, width=10)
+    lines = text.splitlines()
+    assert len(lines) == 5  # header + 4 buckets
+    # Span is 1.0..9.0 s; the two early sends land in bucket 0, the
+    # late 7000-byte send in the last bucket, which owns the peak bar.
+    assert lines[1].split()[1] == "2"
+    assert lines[-1].rstrip().endswith("#" * 10)
+
+
+def test_timeline_with_no_events():
+    assert format_timeline([_rec("trace_start", 0.0)]) == "(empty trace)"
+
+
+def test_timeline_rejects_zero_buckets():
+    with pytest.raises(ValueError):
+        format_timeline(SAMPLE, buckets=0)
+
+
+def test_toptalkers_ranks_by_bytes_out():
+    text = format_toptalkers(SAMPLE, top=2)
+    lines = text.splitlines()
+    # Node 2 sent 7000 bytes, node 0 sent 5061: ranked in that order.
+    assert lines[1].split()[0] == "2"
+    assert lines[2].split()[0] == "0"
+    assert lines[2].split()[3] == "2"  # node 0 generated both blocks
+
+
+def test_toptalkers_without_traffic():
+    assert format_toptalkers([_rec("trace_start", 0.0)]) == "(no traffic recorded)"
+
+
+def test_find_traces_on_a_file_and_a_directory(tmp_path):
+    a = tmp_path / "b.trace.jsonl"
+    b = tmp_path / "a.trace.jsonl"
+    a.write_text("")
+    b.write_text("")
+    (tmp_path / "notes.txt").write_text("ignored")
+    assert find_traces(a) == [a]
+    assert find_traces(tmp_path) == [b, a]  # sorted
+
+
+def test_find_traces_errors(tmp_path):
+    with pytest.raises(TraceError, match="no .trace.jsonl files"):
+        find_traces(tmp_path)
+    with pytest.raises(TraceError, match="no such file"):
+        find_traces(tmp_path / "missing")

@@ -1,0 +1,172 @@
+"""Observability wired through a whole experiment, serial and pooled."""
+
+import json
+
+import pytest
+
+from repro.experiments import ExperimentConfig, Protocol, run_experiment
+from repro.experiments.parallel import run_many
+from repro.obs import (
+    Observability,
+    config_slug,
+    load_records,
+)
+from repro.obs.trace import MemorySink, Tracer
+
+SMALL = ExperimentConfig(
+    n_nodes=12,
+    target_blocks=8,
+    target_key_blocks=4,
+    block_rate=0.1,
+    block_size_bytes=4000,
+    cooldown=15.0,
+    seed=5,
+)
+
+
+def _run_traced(config):
+    sink = MemorySink()
+    obs = Observability(tracer=Tracer(sink))
+    result, log = run_experiment(config, obs=obs)
+    return result, log, sink.records
+
+
+def test_ng_run_emits_the_full_vocabulary():
+    result, _, records = _run_traced(SMALL.with_(protocol=Protocol.BITCOIN_NG))
+    events = {r["ev"] for r in records}
+    assert {
+        "trace_start", "send", "deliver", "block_gen", "block_arrival",
+        "tip_change", "epoch_start", "sample_links", "sample_mempool",
+        "sample_forks", "trace_end",
+    } <= events
+    start = records[0]
+    assert start["ev"] == "trace_start"
+    assert start["protocol"] == "bitcoin-ng"
+    assert start["seed"] == 5
+    end = records[-1]
+    assert end["ev"] == "trace_end"
+    assert end["records"] == len(records)
+    kinds = {r["kind"] for r in records if r["ev"] == "block_gen"}
+    assert kinds == {"key", "micro"}
+    assert result.obs is not None
+
+
+def test_bitcoin_run_traces_blocks_and_tips():
+    _, log, records = _run_traced(SMALL.with_(protocol=Protocol.BITCOIN))
+    gens = [r for r in records if r["ev"] == "block_gen"]
+    assert len(gens) == len(log.index)
+    assert all(r["kind"] == "block" for r in gens)
+    assert any(r["ev"] == "tip_change" for r in records)
+
+
+def test_snapshot_carries_metrics_traffic_and_samples():
+    result, _, _ = _run_traced(SMALL.with_(protocol=Protocol.BITCOIN))
+    snapshot = result.obs
+    assert snapshot["snapshot_version"] == 1
+    metrics = snapshot["metrics"]
+    assert "net_messages_sent" in metrics
+    assert "net_bytes_sent" in metrics
+    assert "node_blocks_generated" in metrics
+    assert metrics["net_queue_delay_seconds"]["type"] == "histogram"
+    assert all(n > 0 for n in snapshot["samples_taken"].values())
+    traffic = snapshot["traffic"]
+    per_node = traffic["per_node"]
+    assert len(per_node) == SMALL.n_nodes
+    assert sum(n["bytes_out"] for n in per_node) == traffic["total_bytes_sent"]
+    assert sum(n["bytes_in"] for n in per_node) == traffic["total_bytes_sent"]
+
+
+def test_obs_results_match_bare_results():
+    """Instrumentation must not perturb the simulation itself."""
+    config = SMALL.with_(protocol=Protocol.BITCOIN_NG)
+    bare, _ = run_experiment(config)
+    traced, _, _ = _run_traced(config)
+    assert traced.as_row() == bare.as_row()
+    assert traced.blocks_generated == bare.blocks_generated
+    assert traced.main_chain_length == bare.main_chain_length
+    # Sampler firings are extra simulator events, so the raw event
+    # counter is the one number allowed to differ — and it must grow.
+    assert traced.events_processed > bare.events_processed
+
+
+def test_from_config_writes_trace_and_metrics_files(tmp_path):
+    config = SMALL.with_(
+        protocol=Protocol.BITCOIN_NG, obs_dir=str(tmp_path)
+    )
+    result, _ = run_experiment(config)
+    slug = config_slug(config)
+    trace_path = tmp_path / f"{slug}.trace.jsonl"
+    metrics_path = tmp_path / f"{slug}.metrics.json"
+    assert trace_path.exists()
+    assert metrics_path.exists()
+    records = load_records(trace_path)
+    assert records[0]["ev"] == "trace_start"
+    assert records[-1]["ev"] == "trace_end"
+    assert records[-1]["records"] == len(records)
+    snapshot = json.loads(metrics_path.read_text())
+    assert snapshot["slug"] == slug
+    assert snapshot == result.obs
+    assert result.obs["trace_path"] == str(trace_path)
+    assert result.obs["trace_records"] == len(records)
+
+
+def test_disabled_config_produces_no_snapshot():
+    result, _ = run_experiment(SMALL.with_(protocol=Protocol.BITCOIN))
+    assert result.obs is None
+
+
+def test_obs_round_trips_through_the_process_pool(tmp_path):
+    configs = [
+        SMALL.with_(protocol=protocol, seed=seed, obs_dir=str(tmp_path))
+        for protocol in (Protocol.BITCOIN, Protocol.BITCOIN_NG)
+        for seed in (0, 1)
+    ]
+    results = run_many(configs, jobs=2)
+    for config, result in zip(configs, results):
+        slug = config_slug(config)
+        assert (tmp_path / f"{slug}.trace.jsonl").exists()
+        assert (tmp_path / f"{slug}.metrics.json").exists()
+        assert result.obs is not None
+        assert result.obs["slug"] == slug
+
+
+def test_pooled_obs_results_equal_serial_obs_results(tmp_path):
+    configs = [
+        SMALL.with_(
+            protocol=Protocol.BITCOIN_NG,
+            seed=seed,
+            obs_dir=str(tmp_path / "pooled"),
+        )
+        for seed in (0, 1, 2)
+    ]
+    serial = run_many(configs, jobs=1)
+    pooled = run_many(configs, jobs=3)
+    # Frozen-dataclass equality covers every metric; the obs snapshot
+    # is compare=False so wall-clock noise cannot break this.
+    assert pooled == serial
+    assert [r.obs["metrics"] for r in pooled] == [
+        r.obs["metrics"] for r in serial
+    ]
+
+
+def test_sample_period_override():
+    sink = MemorySink()
+    obs = Observability(tracer=Tracer(sink), sample_period=1000.0)
+    run_experiment(SMALL.with_(protocol=Protocol.BITCOIN), obs=obs)
+    links = [r for r in sink.records if r["ev"] == "sample_links"]
+    # Horizon is 95 s at these parameters: a 1000 s period never fires.
+    assert links == []
+    assert obs.resolve_period(50.0) == 1000.0
+
+
+def test_slug_distinguishes_sweep_axes():
+    slugs = {
+        config_slug(SMALL.with_(protocol=Protocol.BITCOIN)),
+        config_slug(SMALL.with_(protocol=Protocol.BITCOIN_NG)),
+        config_slug(SMALL.with_(protocol=Protocol.BITCOIN, seed=6)),
+        config_slug(SMALL.with_(protocol=Protocol.BITCOIN, block_rate=0.2)),
+        config_slug(
+            SMALL.with_(protocol=Protocol.BITCOIN, block_size_bytes=8000)
+        ),
+    }
+    assert len(slugs) == 5

@@ -1,0 +1,131 @@
+"""The metric registry: counters, gauges, histograms, null objects."""
+
+import json
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    NULL_METRIC,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricRegistry,
+    NullRegistry,
+)
+
+
+def test_counter_increments():
+    c = Counter("hits")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+
+
+def test_counter_is_monotonic():
+    with pytest.raises(MetricError):
+        Counter("hits").inc(-1)
+
+
+def test_counter_labels_independent_children():
+    c = Counter("msgs", labelnames=("kind",))
+    c.labels(kind="inv").inc()
+    c.labels(kind="inv").inc()
+    c.labels(kind="block").inc(5)
+    values = c.snapshot()["values"]
+    assert values == {"kind=inv": 2.0, "kind=block": 5.0}
+
+
+def test_labeled_parent_rejects_direct_updates():
+    c = Counter("msgs", labelnames=("kind",))
+    with pytest.raises(MetricError):
+        c.inc()
+
+
+def test_labels_on_unlabeled_metric_rejected():
+    with pytest.raises(MetricError):
+        Counter("plain").labels(kind="x")
+
+
+def test_labels_require_all_names():
+    c = Counter("msgs", labelnames=("kind", "dir"))
+    with pytest.raises(MetricError):
+        c.labels(kind="inv")  # missing "dir"
+
+
+def test_gauge_moves_both_ways():
+    g = Gauge("depth")
+    g.set(10)
+    g.inc(5)
+    g.dec(2)
+    assert g.value == 13.0
+
+
+def test_histogram_bucket_placement():
+    h = Histogram("delay", buckets=(1.0, 10.0))
+    for value in (0.5, 0.9, 5.0, 100.0):
+        h.observe(value)
+    scalar = h.snapshot()["values"][""]
+    assert scalar["count"] == 4
+    assert scalar["sum"] == pytest.approx(106.4)
+    assert scalar["buckets"] == {"1.0": 2, "10.0": 1}
+    assert scalar["overflow"] == 1
+
+
+def test_histogram_children_inherit_buckets():
+    h = Histogram("delay", labelnames=("kind",), buckets=(2.0,))
+    child = h.labels(kind="block")
+    child.observe(1.0)
+    child.observe(3.0)
+    scalar = h.snapshot()["values"]["kind=block"]
+    assert scalar["buckets"] == {"2.0": 1}
+    assert scalar["overflow"] == 1
+
+
+def test_histogram_needs_buckets():
+    with pytest.raises(MetricError):
+        Histogram("empty", buckets=())
+
+
+def test_registry_deduplicates_by_name():
+    registry = MetricRegistry()
+    a = registry.counter("hits")
+    b = registry.counter("hits")
+    assert a is b
+
+
+def test_registry_rejects_type_clash():
+    registry = MetricRegistry()
+    registry.counter("hits")
+    with pytest.raises(MetricError):
+        registry.gauge("hits")
+
+
+def test_collect_is_json_serializable_and_sorted():
+    registry = MetricRegistry()
+    registry.gauge("z_last").set(1)
+    registry.counter("a_first").inc()
+    registry.histogram("mid", buckets=DEFAULT_BUCKETS).observe(0.5)
+    snapshot = registry.collect()
+    assert list(snapshot) == ["a_first", "mid", "z_last"]
+    assert snapshot["a_first"]["type"] == "counter"
+    json.dumps(snapshot)  # must not raise
+
+
+def test_null_metric_absorbs_everything():
+    assert NULL_METRIC.labels(kind="x") is NULL_METRIC
+    NULL_METRIC.inc()
+    NULL_METRIC.dec(3)
+    NULL_METRIC.set(7)
+    NULL_METRIC.observe(1.5)  # all no-ops, nothing to assert but no raise
+
+
+def test_null_registry_hands_out_null_metrics():
+    assert NULL_REGISTRY.counter("x") is NULL_METRIC
+    assert NULL_REGISTRY.gauge("y") is NULL_METRIC
+    assert NULL_REGISTRY.histogram("z") is NULL_METRIC
+    assert NULL_REGISTRY.collect() == {}
+    assert NullRegistry.enabled is False
+    assert MetricRegistry.enabled is True
