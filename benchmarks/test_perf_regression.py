@@ -273,6 +273,59 @@ def test_obs_disabled_overhead():
     )
 
 
+def test_scenario_disabled_overhead():
+    """A run without a scenario pays nothing for the fault engine.
+
+    ``run_experiment`` only constructs a :class:`ScenarioEngine` when
+    ``config.scenario`` is set, and an empty scenario schedules zero
+    events — so the no-scenario and empty-scenario executions must be
+    result-identical, and their wall times statistically the same.  The
+    bound trips if scenario dispatch ever leaks into the per-event hot
+    path of bare runs.
+    """
+    bare_config = SWEEP_BASE.with_(seed=2)
+    empty_config = bare_config.with_(
+        scenario={"version": 1, "name": "empty", "faults": []}
+    )
+
+    bare_wall = float("inf")
+    empty_wall = float("inf")
+    bare_result = empty_result = None
+    # Interleaved best-of rounds, like the obs A/B above.
+    for _ in range(2):
+        start = time.perf_counter()
+        bare_result, _ = run_experiment(bare_config)
+        bare_wall = min(bare_wall, time.perf_counter() - start)
+        start = time.perf_counter()
+        empty_result, _ = run_experiment(empty_config)
+        empty_wall = min(empty_wall, time.perf_counter() - start)
+
+    # Bit-identical executions (config differs, so compare the rows and
+    # execution counters rather than the frozen result objects).
+    assert empty_result.as_row() == bare_result.as_row()
+    assert empty_result.events_processed == bare_result.events_processed
+    assert empty_result.messages_delivered == bare_result.messages_delivered
+    assert empty_result.faults_injected == 0
+
+    ratio = empty_wall / max(bare_wall, 1e-9)
+    update_bench(
+        BENCH_JSON,
+        "scenario_overhead",
+        {
+            "bare_wall_seconds": round(bare_wall, 3),
+            "empty_scenario_wall_seconds": round(empty_wall, 3),
+            "empty_over_bare_wall_ratio": round(ratio, 4),
+            "events_processed": bare_result.events_processed,
+            "identical_results": True,
+        },
+    )
+    # Generous: the empty engine costs one validation + zero events, so
+    # anything beyond noise means dispatch leaked into the hot path.
+    assert ratio < 1.20, (
+        f"empty scenario cost {ratio - 1:.1%} wall time over a bare run"
+    )
+
+
 def test_bench_json_is_valid():
     """The emitted trajectory file parses and has every section."""
     data = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
@@ -281,6 +334,7 @@ def test_bench_json_is_valid():
         "single_run",
         "sweep_dispatch",
         "obs_overhead",
+        "scenario_overhead",
         "baseline",
     ):
         assert section in data, f"missing {section}"

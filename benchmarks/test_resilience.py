@@ -12,12 +12,12 @@ import pytest
 
 from repro.attacks import power_drop_comparison
 from repro.experiments import ExperimentConfig, Protocol
-from repro.experiments.runner import _setup_bitcoin, _setup_ng
 from repro.metrics import ObservationLog, transaction_frequency
 from repro.mining.difficulty import expected_block_interval, recovery_blocks
 from repro.mining.power import exponential_shares
 from repro.net.simulator import Simulator
 from repro.experiments.runner import build_network
+from repro.protocols import get_adapter
 from conftest import emit, BENCH_NODES
 
 DROP_TO = 0.25  # 75% of mining power leaves
@@ -41,10 +41,9 @@ def _run_with_power_drop(protocol):
     network = build_network(config, sim)
     log = ObservationLog(config.n_nodes)
     shares = exponential_shares(config.n_nodes)
-    if protocol is Protocol.BITCOIN_NG:
-        nodes, scheduler = _setup_ng(config, sim, network, log, shares)
-    else:
-        nodes, scheduler = _setup_bitcoin(config, sim, network, log, shares)
+    nodes, scheduler = get_adapter(protocol).build_nodes(
+        config, sim, network, log, shares
+    )
     scheduler.start()
     sim.run(until=500.0)
     scheduler.set_block_rate(scheduler.block_rate * DROP_TO)

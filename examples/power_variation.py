@@ -20,10 +20,11 @@ from repro.experiments import (
     run_power_drop,
     simulate_difficulty_dynamics,
 )
-from repro.experiments.runner import _setup_bitcoin, _setup_ng, build_network
+from repro.experiments.runner import build_network
 from repro.metrics import ObservationLog
 from repro.mining.power import exponential_shares
 from repro.net.simulator import Simulator
+from repro.protocols import get_adapter
 
 
 def difficulty_control_loop() -> None:
@@ -54,10 +55,9 @@ def live_comparison() -> None:
         log = ObservationLog(config.n_nodes)
         shares = exponential_shares(config.n_nodes)
         cfg = config.with_(protocol=protocol)
-        if protocol is Protocol.BITCOIN_NG:
-            nodes, scheduler = _setup_ng(cfg, sim, network, log, shares)
-        else:
-            nodes, scheduler = _setup_bitcoin(cfg, sim, network, log, shares)
+        nodes, scheduler = get_adapter(protocol).build_nodes(
+            cfg, sim, network, log, shares
+        )
         scheduler.start()
         sim.run(until=500.0)
         scheduler.set_block_rate(scheduler.block_rate * 0.25)

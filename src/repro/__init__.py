@@ -27,6 +27,12 @@ Package map
 ``repro.experiments``
     The Figure 7/8 harness: runner, sweeps, propagation study,
     reporting.
+``repro.protocols``
+    The protocol-adapter registry the runner builds nodes through;
+    register an adapter to plug a new protocol into every experiment.
+``repro.scenarios``
+    Deterministic fault injection: declarative JSON scenarios scheduling
+    crashes, restarts, partitions, link degradation, and message loss.
 ``repro.attacks``
     Security studies: selfish mining, microblock-fork double spends and
     poison response, eclipse attacks, censorship, fee-strategy
@@ -66,7 +72,9 @@ __all__ = [
     "metrics",
     "mining",
     "net",
+    "protocols",
     "query",
+    "scenarios",
     "stats",
     "store",
     "wallet",

@@ -299,6 +299,9 @@ class BitcoinNode(GossipNode):
 
     # -- introspection ------------------------------------------------------
 
+    def best_object_id(self) -> bytes | None:
+        return self.tree.tip
+
     @property
     def tip(self) -> bytes:
         return self.tree.tip

@@ -49,6 +49,17 @@ def _base_config(args: argparse.Namespace) -> ExperimentConfig:
     )
 
 
+def _load_scenario_arg(path: str | None) -> dict | None:
+    if path is None:
+        return None
+    from .scenarios import ScenarioError, load_scenario
+
+    try:
+        return load_scenario(path)
+    except ScenarioError as exc:
+        raise SystemExit(f"error: {exc}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _base_config(args).with_(
         protocol=_PROTOCOLS[args.protocol],
@@ -56,6 +67,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         block_size_bytes=args.block_size,
         key_block_rate=args.key_block_rate,
         obs_dir=args.obs,
+        scenario=_load_scenario_arg(args.scenario),
     )
     if args.profile:
         from .profiling import profile_run
@@ -91,6 +103,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "wall_simulate_seconds": result.wall_simulate_seconds,
             "events_per_sec": events_per_sec,
         }
+        if config.scenario is not None:
+            payload["scenario"] = config.scenario["name"]
+            payload["faults_injected"] = result.faults_injected
         if result.obs is not None:
             payload["obs"] = result.obs
         print(json.dumps(payload, indent=2, sort_keys=True))
@@ -102,6 +117,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"{name + ':':<25}{value:.4f}")
         print(f"events processed:        {result.events_processed}")
         print(f"events/sec:              {events_per_sec:,.0f}")
+        if config.scenario is not None:
+            print(f"scenario:                {config.scenario['name']}")
+            print(f"faults injected:         {result.faults_injected}")
         if result.obs is not None:
             print(f"obs trace:               {result.obs.get('trace_path')}")
             print(f"obs records:             {result.obs.get('trace_records')}")
@@ -120,6 +138,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     base = _base_config(args)
     if args.obs:
         base = base.with_(obs_dir=args.obs)
+    scenario = _load_scenario_arg(args.scenario)
+    if scenario is not None:
+        base = base.with_(scenario=scenario)
     seeds = tuple(args.seeds)
     if args.axis == "frequency":
         sweep = frequency_sweep(base, seeds=seeds, jobs=args.jobs)
@@ -129,6 +150,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.obs:
         cells = sum(1 for p in sweep.points for r in p.results if r.obs)
         print(f"\nobs: {cells} per-cell traces + metric snapshots in {args.obs}")
+    if scenario is not None:
+        print(f"\nscenario: {scenario['name']} injected into every cell")
     if args.chart:
         for metric in args.chart:
             print()
@@ -222,6 +245,13 @@ def build_parser() -> argparse.ArgumentParser:
         "and metric snapshot into DIR (analyze with `repro trace`)",
     )
     run_parser.add_argument(
+        "--scenario",
+        metavar="FILE",
+        default=None,
+        help="inject faults from a scenario JSON file (repro.scenarios); "
+        "fault events land in the --obs trace",
+    )
+    run_parser.add_argument(
         "--json",
         action="store_true",
         help="machine-readable output: all metrics plus events/sec "
@@ -264,6 +294,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         default=None,
         help="write a per-cell event trace and metric snapshot into DIR",
+    )
+    sweep_parser.add_argument(
+        "--scenario",
+        metavar="FILE",
+        default=None,
+        help="inject the same fault scenario into every sweep cell",
     )
     sweep_parser.set_defaults(handler=_cmd_sweep)
 

@@ -250,6 +250,25 @@ class NGNode(GossipNode):
         latest_key = self.chain.latest_key_block()
         return latest_key.hash == self._leading_epoch
 
+    def abdicate(self) -> None:
+        """Drop leadership immediately without a successor key block.
+
+        Models the paper's crashed leader: "a benign leader that
+        crashes during his epoch of leadership will publish no
+        microblocks".  The pending generation timer finds
+        ``_leading_epoch`` cleared and dies without rescheduling.
+        """
+        if self._leading_epoch is None:
+            return
+        if self._tracer is not None:
+            self._tracer.emit(
+                "epoch_end",
+                self.sim.now,
+                leader=self.node_id,
+                key_block=short_hash(self._leading_epoch),
+            )
+        self._leading_epoch = None
+
     def _maybe_generate_microblock(self) -> None:
         if not self.is_leader():
             if self._leading_epoch is not None and self._tracer is not None:
@@ -501,6 +520,9 @@ class NGNode(GossipNode):
                     continue
 
     # -- introspection ------------------------------------------------------
+
+    def best_object_id(self) -> bytes | None:
+        return self.chain.tip
 
     @property
     def tip(self) -> bytes:

@@ -3,11 +3,19 @@
 Captures everything Section 7 fixes about the testbed: node count,
 topology degree, latency histogram, pairwise bandwidth, the mining-power
 distribution, and the per-protocol block parameters the two sweeps vary.
+Also the two run-shaping extensions: the observability directory
+(:mod:`repro.obs`) and the fault-injection scenario
+(:mod:`repro.scenarios`) — both live on the config so they round-trip
+through process-pool sweep workers like any other axis.
+
+Configs are value objects: derive variants with :meth:`with_`, and
+serialize with :meth:`to_dict` / :meth:`from_dict` — never poke
+attributes (the dataclass is frozen precisely so nothing can).
 """
 
 from __future__ import annotations
 
-import enum
+import dataclasses
 from dataclasses import dataclass, field
 
 from ..bitcoin.blocks import ARTIFICIAL_TX_SIZE
@@ -15,20 +23,22 @@ from ..mining.power import PAPER_EXPONENT
 from ..net.gossip import RelayMode
 from ..net.links import DEFAULT_BANDWIDTH_BPS
 
+# Re-exported for backward compatibility: the enum moved to
+# repro.protocols with the adapter registry it now belongs to.
+from ..protocols import Protocol
 
-class Protocol(enum.Enum):
-    """Which consensus protocol an experiment runs."""
-
-    BITCOIN = "bitcoin"
-    BITCOIN_NG = "bitcoin-ng"
-    GHOST = "ghost"
+__all__ = [
+    "ExperimentConfig",
+    "Protocol",
+    "constant_throughput_block_size",
+]
 
 
 @dataclass(frozen=True)
 class ExperimentConfig:
     """One experiment's full parameterization."""
 
-    protocol: Protocol = Protocol.BITCOIN
+    protocol: Protocol | str = Protocol.BITCOIN
     # Testbed shape (the paper used 1000 nodes; the default here is
     # sized for laptop benchmarks — raise it for fidelity runs).
     n_nodes: int = 100
@@ -73,7 +83,21 @@ class ExperimentConfig:
     # Sampler period in virtual seconds (None → ~100 points per run).
     obs_sample_period: float | None = None
 
+    # Fault injection (repro.scenarios): a validated, schema-versioned
+    # scenario dict, or None for a bare run.  Stored normalized, so two
+    # configs built from equivalent specs compare equal; ``None`` and
+    # an empty fault list both mean "inject nothing" and are
+    # bit-identical to a bare run.
+    scenario: dict | None = None
+
     def __post_init__(self) -> None:
+        if isinstance(self.protocol, str):
+            # Accept the wire name for the built-ins; unknown strings
+            # pass through for externally registered protocol adapters.
+            try:
+                object.__setattr__(self, "protocol", Protocol(self.protocol))
+            except ValueError:
+                pass
         if self.n_nodes < 2:
             raise ValueError("need at least two nodes")
         if self.block_rate <= 0 or self.key_block_rate <= 0:
@@ -82,6 +106,12 @@ class ExperimentConfig:
             raise ValueError("sizes must be positive")
         if self.target_blocks < 1:
             raise ValueError("need at least one block")
+        if self.scenario is not None:
+            from ..scenarios.spec import validate_scenario
+
+            object.__setattr__(
+                self, "scenario", validate_scenario(self.scenario)
+            )
 
     @property
     def duration(self) -> float:
@@ -100,9 +130,41 @@ class ExperimentConfig:
 
     def with_(self, **overrides: object) -> "ExperimentConfig":
         """A modified copy (dataclasses.replace with a shorter name)."""
-        import dataclasses
-
         return dataclasses.replace(self, **overrides)  # type: ignore[arg-type]
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-friendly dict: enums become their wire-name strings.
+
+        Round-trips exactly through :meth:`from_dict` —
+        ``ExperimentConfig.from_dict(config.to_dict()) == config``.
+        """
+        data = dataclasses.asdict(self)
+        data["protocol"] = (
+            self.protocol.value
+            if isinstance(self.protocol, Protocol)
+            else self.protocol
+        )
+        data["relay_mode"] = self.relay_mode.value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentConfig":
+        """Rebuild a config from :meth:`to_dict` output (or hand-written
+        JSON).  Unknown keys are an error — a typo should fail loudly,
+        not silently run the defaults."""
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - fields
+        if unknown:
+            raise ValueError(
+                f"unknown ExperimentConfig fields: {sorted(unknown)}"
+            )
+        kwargs = dict(data)
+        relay_mode = kwargs.get("relay_mode")
+        if isinstance(relay_mode, str):
+            kwargs["relay_mode"] = RelayMode(relay_mode)
+        return cls(**kwargs)
 
 
 def constant_throughput_block_size(

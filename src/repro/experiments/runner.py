@@ -5,6 +5,12 @@ with histogram latencies and ~100 kbit/s pair bandwidth, mining replaced
 by an exponential scheduler with pool-shaped power, mempools effectively
 pre-seeded (payloads are the artificial identical transactions), a run
 of 50–100 blocks, and the six Section 6 metrics computed afterwards.
+
+The runner is protocol-agnostic: node construction and lifecycle hooks
+live behind the :class:`~repro.protocols.ProtocolAdapter` registry, so
+adding a protocol means registering an adapter — not editing this file.
+Fault injection (:mod:`repro.scenarios`) rides on ``config.scenario``
+and is wired here when present; a bare run never touches the engine.
 """
 
 from __future__ import annotations
@@ -13,13 +19,6 @@ import random
 import time
 from dataclasses import dataclass, field
 
-from ..bitcoin.blocks import make_genesis
-from ..bitcoin.chain import TieBreak
-from ..bitcoin.node import BitcoinNode, BlockPolicy
-from ..core.genesis import make_ng_genesis
-from ..core.node import MicroblockPolicy, NGNode
-from ..core.params import NGParams
-from ..ghost.node import GhostNode
 from ..metrics import (
     ObservationLog,
     consensus_delay,
@@ -30,13 +29,20 @@ from ..metrics import (
     transaction_frequency,
 )
 from ..mining.power import exponential_shares
-from ..mining.scheduler import MiningScheduler
 from ..net.latency import default_histogram
 from ..net.network import Network
 from ..net.simulator import Simulator
 from ..net.topology import random_topology
 from ..obs.facade import Observability
+from ..protocols import get_adapter, protocol_name
 from .config import ExperimentConfig, Protocol
+
+__all__ = [
+    "ExperimentResult",
+    "build_network",
+    "run_experiment",
+    "Protocol",
+]
 
 
 @dataclass(frozen=True)
@@ -56,6 +62,8 @@ class ExperimentResult:
     # Execution counters (perf accounting, not paper metrics).
     events_processed: int = 0
     messages_delivered: int = 0
+    # Faults the scenario engine actually fired (0 for bare runs).
+    faults_injected: int = 0
     # Wall-clock phases and the observability snapshot.  Excluded from
     # equality: wall time is machine noise, and the snapshot must not
     # break the parallel-equals-serial determinism guarantee.
@@ -107,32 +115,41 @@ def run_experiment(
     separately so event-rate figures cover only the simulate phase.
     """
     setup_started = time.perf_counter()
+    adapter = get_adapter(config.protocol)
     sim = Simulator(seed=config.seed)
     if obs is None:
         obs = Observability.from_config(config)
     network = build_network(config, sim, obs=obs)
     log = ObservationLog(config.n_nodes)
     shares = exponential_shares(config.n_nodes, config.power_exponent)
-    if config.protocol is Protocol.BITCOIN_NG:
-        nodes, scheduler = _setup_ng(config, sim, network, log, shares)
-    elif config.protocol is Protocol.GHOST:
-        nodes, scheduler = _setup_ghost(config, sim, network, log, shares)
-    else:
-        nodes, scheduler = _setup_bitcoin(config, sim, network, log, shares)
+    nodes, scheduler = adapter.build_nodes(config, sim, network, log, shares)
     horizon = config.duration + config.cooldown
-    obs.install(
-        sim,
-        network,
-        nodes,
-        horizon,
-        meta={
-            "protocol": config.protocol.value,
-            "n_nodes": config.n_nodes,
-            "seed": config.seed,
-            "block_rate": config.block_rate,
-            "block_size_bytes": config.block_size_bytes,
-        },
-    )
+    meta = {
+        "protocol": protocol_name(config.protocol),
+        "n_nodes": config.n_nodes,
+        "seed": config.seed,
+        "block_rate": config.block_rate,
+        "block_size_bytes": config.block_size_bytes,
+    }
+    if config.scenario is not None:
+        meta["scenario"] = config.scenario.get("name", "unnamed")
+    obs.install(sim, network, nodes, horizon, meta=meta)
+    engine = None
+    if config.scenario is not None:
+        from ..scenarios.engine import ScenarioEngine
+
+        engine = ScenarioEngine(
+            config.scenario,
+            sim=sim,
+            network=network,
+            nodes=nodes,
+            adapter=adapter,
+            scheduler=scheduler,
+            shares=shares,
+            seed=config.seed,
+            tracer=obs.tracer,
+        )
+        engine.install()
     wall_setup = time.perf_counter() - setup_started
     simulate_started = time.perf_counter()
     scheduler.start()
@@ -155,128 +172,9 @@ def run_experiment(
         duration=log.duration,
         events_processed=sim.events_processed,
         messages_delivered=network.messages_delivered,
+        faults_injected=engine.faults_fired if engine is not None else 0,
         wall_setup_seconds=wall_setup,
         wall_simulate_seconds=wall_simulate,
         obs=snapshot,
     )
     return result, log
-
-
-def _setup_bitcoin(
-    config: ExperimentConfig,
-    sim: Simulator,
-    network: Network,
-    log: ObservationLog,
-    shares: list[float],
-) -> tuple[list[BitcoinNode], MiningScheduler]:
-    genesis = make_genesis()
-    policy = BlockPolicy(
-        max_block_bytes=config.block_size_bytes,
-        synthetic=True,
-        synthetic_tx_size=config.tx_size,
-    )
-    nodes = [
-        BitcoinNode(
-            i,
-            sim,
-            network,
-            genesis,
-            log=log,
-            policy=policy,
-            tie_break=TieBreak.RANDOM,
-            relay_mode=config.relay_mode,
-            verification_seconds_per_byte=config.verification_seconds_per_byte,
-        )
-        for i in range(config.n_nodes)
-    ]
-    scheduler = MiningScheduler(
-        sim,
-        shares,
-        block_rate=config.block_rate,
-        on_block=lambda winner: nodes[winner].generate_block(),
-    )
-    return nodes, scheduler
-
-
-def _setup_ghost(
-    config: ExperimentConfig,
-    sim: Simulator,
-    network: Network,
-    log: ObservationLog,
-    shares: list[float],
-) -> tuple[list[GhostNode], MiningScheduler]:
-    genesis = make_genesis()
-    policy = BlockPolicy(
-        max_block_bytes=config.block_size_bytes,
-        synthetic=True,
-        synthetic_tx_size=config.tx_size,
-    )
-    nodes = [
-        GhostNode(
-            i,
-            sim,
-            network,
-            genesis,
-            log=log,
-            policy=policy,
-            relay_mode=config.relay_mode,
-            verification_seconds_per_byte=config.verification_seconds_per_byte,
-        )
-        for i in range(config.n_nodes)
-    ]
-    scheduler = MiningScheduler(
-        sim,
-        shares,
-        block_rate=config.block_rate,
-        on_block=lambda winner: nodes[winner].generate_block(),
-    )
-    return nodes, scheduler
-
-
-def _setup_ng(
-    config: ExperimentConfig,
-    sim: Simulator,
-    network: Network,
-    log: ObservationLog,
-    shares: list[float],
-) -> tuple[list[NGNode], MiningScheduler]:
-    micro_interval = 1.0 / config.block_rate
-    params = NGParams(
-        key_block_interval=1.0 / config.key_block_rate,
-        min_microblock_interval=micro_interval,
-        max_microblock_bytes=max(
-            config.block_size_bytes * 2, config.block_size_bytes + 1024
-        ),
-    )
-    genesis = make_ng_genesis()
-    policy = MicroblockPolicy(
-        target_bytes=config.block_size_bytes,
-        synthetic=True,
-        synthetic_tx_size=config.tx_size,
-    )
-    nodes = [
-        NGNode(
-            i,
-            sim,
-            network,
-            genesis,
-            params,
-            log=log,
-            policy=policy,
-            microblock_interval=micro_interval,
-            relay_mode=config.relay_mode,
-            # The paper's testbed "did not implement ... the microblock
-            # signature check"; experiments follow suit for speed.
-            check_signatures=False,
-            verification_seconds_per_byte=config.verification_seconds_per_byte,
-            ghost_fork_choice=config.ng_ghost_fork_choice,
-        )
-        for i in range(config.n_nodes)
-    ]
-    scheduler = MiningScheduler(
-        sim,
-        shares,
-        block_rate=config.key_block_rate,
-        on_block=lambda winner: nodes[winner].generate_key_block(),
-    )
-    return nodes, scheduler

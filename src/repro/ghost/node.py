@@ -150,6 +150,9 @@ class GhostNode(GossipNode):
                     tip=short_hash(self.tree.tip),
                 )
 
+    def best_object_id(self) -> bytes | None:
+        return self.tree.tip
+
     @property
     def tip(self) -> bytes:
         return self.tree.tip

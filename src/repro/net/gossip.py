@@ -28,6 +28,8 @@ from .simulator import Simulator
 # an inv/getdata with one entry is 24 byte header + 37 byte payload.
 INV_SIZE = 61
 GETDATA_SIZE = 61
+# A tip solicitation is an empty getheaders in miniature: header only.
+GETTIP_SIZE = 24
 
 
 class RelayMode(enum.Enum):
@@ -115,6 +117,16 @@ class GossipNode:
         """
         raise NotImplementedError
 
+    def best_object_id(self) -> bytes | None:
+        """The id of the object a resyncing peer should fetch first.
+
+        Protocol nodes return their chain tip; the base class has no
+        chain, so peers asking it for a tip get nothing.  Returning an
+        id that is not in the relay store (the genesis block, say) is
+        fine — the tip solicitation is then simply not answered.
+        """
+        return None
+
     # -- public operations --------------------------------------------------
 
     def knows(self, obj_id: bytes) -> bool:
@@ -122,6 +134,36 @@ class GossipNode:
 
     def get_object(self, obj_id: bytes) -> StoredObject | None:
         return self._store.get(obj_id)
+
+    def request_tips(self) -> None:
+        """Ask every neighbor for its best tip (rejoin resync).
+
+        Each peer answers a ``gettip`` with an inv of its chain tip;
+        an unknown tip is then fetched through the normal handshake and
+        orphan handling backfills the gap by recursive parent fetch —
+        so a node that was down across several blocks catches up
+        without waiting for the next block to be mined.
+        """
+        message = Message("gettip", None, GETTIP_SIZE)
+        send = self.network.send
+        for peer in self._neighbors:
+            send(self.node_id, peer, message)
+
+    def reset_relay_state(self) -> None:
+        """Drop volatile relay bookkeeping (crash-restart modeling).
+
+        Outstanding requests, their retry timers, and alternate-source
+        lists all describe in-flight handshakes that died with the
+        node; keeping them would make :meth:`_on_inv` ignore fresh
+        announcements of exactly the objects the node is missing until
+        the stale timers expire.  Validation verdicts (``_rejected``)
+        and peer bans survive — they are judgements, not bookkeeping.
+        """
+        for timer in self._request_timers.values():
+            timer.cancel()
+        self._request_timers.clear()
+        self._requested.clear()
+        self._alt_sources.clear()
 
     def request_object(self, peer: int, obj_id: bytes) -> None:
         """Explicitly fetch an object from a peer (ancestor backfill).
@@ -185,6 +227,8 @@ class GossipNode:
             self._on_getdata(sender, message.payload)
         elif kind == "object":
             self._on_object(sender, message.payload)
+        elif kind == "gettip":
+            self._on_gettip(sender)
         else:
             self.handle_protocol_message(sender, message)
 
@@ -254,6 +298,20 @@ class GossipNode:
                 alternates.append(sender)
             return
         self._request_from(sender, obj_id)
+
+    def _on_gettip(self, sender: int) -> None:
+        """Answer a tip solicitation with an inv of our best object."""
+        obj_id = self.best_object_id()
+        if obj_id is None:
+            return
+        stored = self._store.get(obj_id)
+        if stored is None:
+            return  # tip not relayable (genesis): nothing useful to offer
+        self.network.send(
+            self.node_id,
+            sender,
+            Message("inv", (obj_id, stored.kind), INV_SIZE),
+        )
 
     def _on_getdata(self, sender: int, obj_id: bytes) -> None:
         stored = self._store.get(obj_id)

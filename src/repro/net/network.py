@@ -80,6 +80,13 @@ class Network:
         self._handlers: dict[int, MessageHandler] = {}
         self._offline: set[int] = set()
         self._blocked: set[frozenset[int]] = set()
+        # Fault injection (repro.scenarios): probabilistic send loss and
+        # link degradation.  Loss draws from a dedicated RNG so a zero
+        # rate — the default — costs one truthiness check per send and
+        # never touches any random stream.
+        self._loss_rate = 0.0
+        self._loss_rng: random.Random | None = None
+        self._base_link_params: dict[tuple[int, int], tuple[float, float]] | None = None
         self._links: dict[tuple[int, int], Link] = {}
         self.messages_delivered = 0
         self.bytes_delivered = 0
@@ -115,6 +122,73 @@ class Network:
         else:
             self._offline.discard(node_id)
 
+    def set_online(self, node_id: int, online: bool = True) -> None:
+        """Readable inverse of :meth:`set_offline` (node lifecycle API)."""
+        self.set_offline(node_id, offline=not online)
+
+    # -- fault injection ----------------------------------------------------
+
+    def set_loss(self, rate: float, rng: random.Random | None = None) -> None:
+        """Drop each send independently with probability ``rate``.
+
+        ``rng`` must be a stream dedicated to fault injection — the
+        scenario engine's fault RNG — so that enabling loss never
+        perturbs the simulation RNG sequence.  A zero rate disables
+        loss (and the draws with it).
+        """
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"loss rate must be in [0, 1), got {rate}")
+        if rate > 0.0 and rng is None:
+            raise ValueError("a fault RNG is required for nonzero loss")
+        self._loss_rate = rate
+        self._loss_rng = rng
+
+    def degrade_links(
+        self,
+        latency_mult: float = 1.0,
+        bandwidth_mult: float = 1.0,
+        pairs: list[tuple[int, int]] | None = None,
+    ) -> int:
+        """Scale link parameters; returns the number of directed links hit.
+
+        Multipliers apply to the *pristine* parameters (the values links
+        were built with), so repeated degradations replace rather than
+        compound.  ``pairs`` limits the change to both directions of the
+        given adjacent pairs; by default every link degrades.
+        """
+        if latency_mult <= 0 or bandwidth_mult <= 0:
+            raise ValueError("degradation multipliers must be > 0")
+        if self._base_link_params is None:
+            self._base_link_params = {
+                key: (link.latency, link.bandwidth)
+                for key, link in self._links.items()
+            }
+        if pairs is None:
+            keys = list(self._links)
+        else:
+            keys = []
+            for a, b in pairs:
+                if (a, b) not in self._links:
+                    raise ValueError(f"nodes {a} and {b} are not adjacent")
+                keys.append((a, b))
+                keys.append((b, a))
+        for key in keys:
+            link = self._links[key]
+            base_latency, base_bandwidth = self._base_link_params[key]
+            link.latency = base_latency * latency_mult
+            link.bandwidth = base_bandwidth * bandwidth_mult
+        return len(keys)
+
+    def restore_links(self) -> int:
+        """Undo every degradation; returns the number of links touched."""
+        if self._base_link_params is None:
+            return 0
+        for key, (latency, bandwidth) in self._base_link_params.items():
+            link = self._links[key]
+            link.latency = latency
+            link.bandwidth = bandwidth
+        return len(self._base_link_params)
+
     def block_link(self, a: int, b: int) -> None:
         """Drop all traffic between two adjacent nodes (partitioning)."""
         self._blocked.add(frozenset((a, b)))
@@ -137,6 +211,12 @@ class Network:
         # The frozenset allocation is only paid while a partition is
         # actually active — the overwhelmingly common case is no blocks.
         if self._blocked and frozenset((src, dst)) in self._blocked:
+            if self._obs_on:
+                self._record_drop(src, dst, message)
+            return
+        # Probabilistic loss draws only while a lossy window is active,
+        # and only from the dedicated fault RNG stream.
+        if self._loss_rate and self._loss_rng.random() < self._loss_rate:
             if self._obs_on:
                 self._record_drop(src, dst, message)
             return

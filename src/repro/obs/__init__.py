@@ -17,6 +17,7 @@ singletons.
 """
 
 from .analyze import (
+    FAULT_EVENTS,
     TraceSummary,
     find_traces,
     format_summary,
@@ -49,6 +50,7 @@ from .trace import (
 
 __all__ = [
     "Counter",
+    "FAULT_EVENTS",
     "ForkSampler",
     "Gauge",
     "Histogram",

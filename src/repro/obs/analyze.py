@@ -18,6 +18,17 @@ from .trace import SCHEMA_VERSION, TraceError
 
 TRACE_SUFFIX = ".trace.jsonl"
 
+# Events emitted by the fault-injection engine (repro.scenarios).
+FAULT_EVENTS = (
+    "node_crash",
+    "node_restart",
+    "partition",
+    "heal",
+    "link_degrade",
+    "link_restore",
+    "msg_loss",
+)
+
 
 def find_traces(path: str | Path) -> list[Path]:
     """Trace files under ``path``: itself if a file, else ``*.trace.jsonl``."""
@@ -84,6 +95,7 @@ class TraceSummary:
     peak_busy_fraction: float = 0.0
     peak_mempool: int = 0
     peak_tips: int = 0
+    faults: dict[str, int] = field(default_factory=dict)
     meta: dict = field(default_factory=dict)
 
     @property
@@ -155,6 +167,8 @@ def summarize(records: Iterable[dict]) -> TraceSummary:
             )
         elif ev == "sample_forks":
             summary.peak_tips = max(summary.peak_tips, record.get("tips", 0))
+        elif ev in FAULT_EVENTS:
+            summary.faults[ev] = summary.faults.get(ev, 0) + 1
     summary.events = dict(sorted(events.items()))
     summary.records = sum(events.values())
     summary.t_min = t_min if t_min is not None else 0.0
@@ -207,6 +221,11 @@ def format_summary(summary: TraceSummary, name: str = "") -> str:
             f"anomalies:           {summary.gossip_retries} retries, "
             f"{summary.rejects} rejects, {summary.drops} drops"
         )
+    if summary.faults:
+        faults = ", ".join(
+            f"{ev}={count}" for ev, count in sorted(summary.faults.items())
+        )
+        lines.append(f"faults injected:     {faults}")
     lines.append(
         "sampled peaks:       "
         f"queued {summary.peak_queued_bytes:,.0f} B, "
@@ -227,7 +246,7 @@ def format_timeline(
     if buckets < 1:
         raise ValueError("need at least one bucket")
     rows = [
-        {"sends": 0, "bytes": 0, "blocks": 0, "tips": 0}
+        {"sends": 0, "bytes": 0, "blocks": 0, "tips": 0, "faults": 0}
         for _ in range(buckets)
     ]
     t_min = t_max = None
@@ -255,18 +274,27 @@ def format_timeline(
             row["blocks"] += 1
         elif ev == "tip_change":
             row["tips"] += 1
+        elif ev in FAULT_EVENTS:
+            row["faults"] += 1
     peak_bytes = max(row["bytes"] for row in rows) or 1
-    lines = [
+    show_faults = any(row["faults"] for row in rows)
+    header = (
         f"{'t [s]':>12}  {'sends':>8}  {'bytes':>12}  {'blocks':>6}  "
-        f"{'tips':>5}  traffic"
-    ]
+        f"{'tips':>5}  "
+    )
+    if show_faults:
+        header += f"{'faults':>6}  "
+    lines = [header + "traffic"]
     for index, row in enumerate(rows):
         start = t_min + span * index / buckets
         bar = "#" * round(row["bytes"] / peak_bytes * width)
-        lines.append(
+        line = (
             f"{start:>12.1f}  {row['sends']:>8}  {row['bytes']:>12,}  "
-            f"{row['blocks']:>6}  {row['tips']:>5}  {bar}"
+            f"{row['blocks']:>6}  {row['tips']:>5}  "
         )
+        if show_faults:
+            line += f"{row['faults']:>6}  "
+        lines.append(line + bar)
     return "\n".join(lines)
 
 

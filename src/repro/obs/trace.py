@@ -26,6 +26,13 @@ Record vocabulary (schema version 1):
 ``sample_links``        periodic: busy links, busy fraction, queued bytes
 ``sample_mempool``      periodic: per-node mempool depth summary
 ``sample_forks``        periodic: distinct tips across nodes
+``node_crash``          a scenario took a node offline (node, down_for?)
+``node_restart``        a crashed node came back online and resynced
+``partition``           a scenario split the network (groups, cut links)
+``heal``                the active partition was removed (restored links)
+``link_degrade``        link latency/bandwidth multipliers applied
+``link_restore``        degraded links reset to pristine parameters
+``msg_loss``            the probabilistic send-loss rate changed
 ``trace_end``           final counters, closes the file
 ======================  ====================================================
 

@@ -1,0 +1,26 @@
+"""Deterministic fault-injection scenarios.
+
+Declarative fault scripts — node crashes and restarts, timed network
+partitions and heals, link degradation, probabilistic message loss —
+validated by :mod:`repro.scenarios.spec` and executed against a running
+simulation by :class:`~repro.scenarios.engine.ScenarioEngine`.  See
+``docs/scenarios.md`` for the spec format and worked examples.
+"""
+
+from .engine import ScenarioEngine
+from .spec import (
+    FAULT_KINDS,
+    SCENARIO_VERSION,
+    ScenarioError,
+    load_scenario,
+    validate_scenario,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "SCENARIO_VERSION",
+    "ScenarioEngine",
+    "ScenarioError",
+    "load_scenario",
+    "validate_scenario",
+]

@@ -1,0 +1,256 @@
+"""Scenario specifications: plain-dict fault scripts, validated.
+
+A scenario is a JSON-friendly dict — schema-versioned, picklable, and
+carried on :class:`~repro.experiments.config.ExperimentConfig` so it
+round-trips through process-pool sweep workers unchanged::
+
+    {
+      "version": 1,
+      "name": "leader-crash",
+      "faults": [
+        {"at": 150.0, "kind": "crash", "node": "leader", "down_for": 300.0},
+        {"at": 600.0, "kind": "partition", "split": "halves"},
+        {"at": 800.0, "kind": "heal"}
+      ]
+    }
+
+Fault kinds (all faults carry ``at``, the virtual-time trigger):
+
+``crash``
+    Take ``node`` (an id, or ``"leader"`` resolved at fire time) off
+    the network, zero its mining power, and drop its volatile protocol
+    state.  Optional ``down_for`` schedules the matching restart.
+``restart``
+    Bring a crashed ``node`` (an id) back online and resync it.
+``partition``
+    Split the topology with the partition controller: either explicit
+    ``groups`` (disjoint lists of node ids) or ``split: "halves"``.
+``heal``
+    Remove the active partition.
+``degrade``
+    Multiply link latency by ``latency_mult`` and/or bandwidth by
+    ``bandwidth_mult`` (> 0; bandwidth multipliers < 1 throttle) on
+    ``links`` ([[a, b], ...] pairs) or, by default, every link.
+    Multipliers are always relative to the pristine link parameters.
+``restore``
+    Reset every degraded link to its original parameters.
+``loss``
+    Drop each subsequent send independently with probability ``rate``
+    (0 ≤ rate < 1); ``rate: 0`` ends the lossy window.  Draws come
+    from the dedicated fault RNG stream, never the simulation RNG.
+
+The schema is strict — unknown fault kinds or stray fields are errors,
+so a typo fails loudly at config time instead of silently injecting
+nothing.  Meaning changes bump :data:`SCENARIO_VERSION`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+SCENARIO_VERSION = 1
+
+FAULT_KINDS = (
+    "crash",
+    "restart",
+    "partition",
+    "heal",
+    "degrade",
+    "restore",
+    "loss",
+)
+
+# Allowed fields per fault kind, beyond the common "at"/"kind".
+_FAULT_FIELDS = {
+    "crash": {"node", "down_for"},
+    "restart": {"node"},
+    "partition": {"groups", "split"},
+    "heal": set(),
+    "degrade": {"latency_mult", "bandwidth_mult", "links"},
+    "restore": set(),
+    "loss": {"rate"},
+}
+
+
+class ScenarioError(ValueError):
+    """Raised when a scenario spec is malformed or cannot be applied."""
+
+
+def _require_number(fault: dict, key: str, index: int, minimum: float = 0.0):
+    value = fault.get(key)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ScenarioError(f"fault #{index}: {key!r} must be a number")
+    if value < minimum:
+        raise ScenarioError(f"fault #{index}: {key!r} must be >= {minimum}")
+    return float(value)
+
+
+def _validate_node(fault: dict, index: int, allow_leader: bool) -> int | str:
+    node = fault.get("node")
+    if node == "leader" and allow_leader:
+        return node
+    if isinstance(node, int) and not isinstance(node, bool) and node >= 0:
+        return node
+    expected = "a node id" + (' or "leader"' if allow_leader else "")
+    raise ScenarioError(f"fault #{index}: `node` must be {expected}")
+
+
+def _validate_fault(fault: object, index: int) -> dict:
+    if not isinstance(fault, dict):
+        raise ScenarioError(f"fault #{index}: must be an object")
+    kind = fault.get("kind")
+    if kind not in FAULT_KINDS:
+        raise ScenarioError(
+            f"fault #{index}: unknown kind {kind!r} "
+            f"(one of: {', '.join(FAULT_KINDS)})"
+        )
+    allowed = _FAULT_FIELDS[kind] | {"at", "kind"}
+    stray = set(fault) - allowed
+    if stray:
+        raise ScenarioError(
+            f"fault #{index} ({kind}): unexpected fields {sorted(stray)}"
+        )
+    out: dict = {"at": _require_number(fault, "at", index), "kind": kind}
+
+    if kind == "crash":
+        out["node"] = _validate_node(fault, index, allow_leader=True)
+        if "down_for" in fault:
+            down_for = _require_number(fault, "down_for", index)
+            if down_for <= 0:
+                raise ScenarioError(f"fault #{index}: `down_for` must be > 0")
+            out["down_for"] = down_for
+    elif kind == "restart":
+        out["node"] = _validate_node(fault, index, allow_leader=False)
+    elif kind == "partition":
+        groups = fault.get("groups")
+        split = fault.get("split")
+        if (groups is None) == (split is None):
+            raise ScenarioError(
+                f"fault #{index}: give exactly one of `groups` or `split`"
+            )
+        if split is not None:
+            if split != "halves":
+                raise ScenarioError(
+                    f"fault #{index}: unknown split {split!r} "
+                    '(only "halves" is defined)'
+                )
+            out["split"] = split
+        else:
+            if not isinstance(groups, list) or len(groups) < 2:
+                raise ScenarioError(
+                    f"fault #{index}: `groups` needs >= 2 lists of node ids"
+                )
+            seen: set[int] = set()
+            clean_groups = []
+            for group in groups:
+                if not isinstance(group, list) or not group:
+                    raise ScenarioError(
+                        f"fault #{index}: each group must be a non-empty list"
+                    )
+                for node in group:
+                    if not isinstance(node, int) or isinstance(node, bool):
+                        raise ScenarioError(
+                            f"fault #{index}: group members must be node ids"
+                        )
+                    if node in seen:
+                        raise ScenarioError(
+                            f"fault #{index}: node {node} is in two groups"
+                        )
+                    seen.add(node)
+                clean_groups.append(list(group))
+            out["groups"] = clean_groups
+    elif kind == "degrade":
+        out["latency_mult"] = (
+            _require_number(fault, "latency_mult", index)
+            if "latency_mult" in fault
+            else 1.0
+        )
+        out["bandwidth_mult"] = (
+            _require_number(fault, "bandwidth_mult", index)
+            if "bandwidth_mult" in fault
+            else 1.0
+        )
+        if out["latency_mult"] <= 0 or out["bandwidth_mult"] <= 0:
+            raise ScenarioError(
+                f"fault #{index}: degradation multipliers must be > 0"
+            )
+        if "links" in fault:
+            links = fault["links"]
+            if not isinstance(links, list) or not links:
+                raise ScenarioError(
+                    f"fault #{index}: `links` must be a non-empty list of pairs"
+                )
+            pairs = []
+            for pair in links:
+                if (
+                    not isinstance(pair, list)
+                    or len(pair) != 2
+                    or not all(
+                        isinstance(n, int) and not isinstance(n, bool)
+                        for n in pair
+                    )
+                ):
+                    raise ScenarioError(
+                        f"fault #{index}: each link must be a [src, dst] pair"
+                    )
+                pairs.append(list(pair))
+            out["links"] = pairs
+    elif kind == "loss":
+        rate = _require_number(fault, "rate", index)
+        if not 0.0 <= rate < 1.0:
+            raise ScenarioError(
+                f"fault #{index}: `rate` must be in [0, 1)"
+            )
+        out["rate"] = rate
+    return out
+
+
+def validate_scenario(spec: object) -> dict:
+    """Check ``spec`` against the schema; return a normalized copy.
+
+    Normalization fills the optional ``name``, coerces numerics to
+    float, and sorts faults by trigger time (stable, so same-time
+    faults keep file order).
+    """
+    if not isinstance(spec, dict):
+        raise ScenarioError("scenario must be a dict/JSON object")
+    version = spec.get("version")
+    if version != SCENARIO_VERSION:
+        raise ScenarioError(
+            f"unsupported scenario version {version!r} "
+            f"(this build understands {SCENARIO_VERSION})"
+        )
+    stray = set(spec) - {"version", "name", "description", "faults"}
+    if stray:
+        raise ScenarioError(f"unexpected scenario fields {sorted(stray)}")
+    name = spec.get("name", "scenario")
+    if not isinstance(name, str):
+        raise ScenarioError("scenario `name` must be a string")
+    faults = spec.get("faults")
+    if not isinstance(faults, list):
+        raise ScenarioError("scenario needs a `faults` list (may be empty)")
+    normalized = [
+        _validate_fault(fault, index) for index, fault in enumerate(faults)
+    ]
+    normalized.sort(key=lambda fault: fault["at"])
+    out = {
+        "version": SCENARIO_VERSION,
+        "name": name,
+        "faults": normalized,
+    }
+    if "description" in spec:
+        out["description"] = str(spec["description"])
+    return out
+
+
+def load_scenario(path: str | Path) -> dict:
+    """Read and validate a scenario JSON file."""
+    target = Path(path)
+    try:
+        raw = json.loads(target.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ScenarioError(f"cannot read scenario {target}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ScenarioError(f"{target}: not valid JSON: {exc}") from exc
+    return validate_scenario(raw)

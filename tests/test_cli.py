@@ -186,3 +186,115 @@ def test_sweep_with_chart(capsys):
     assert code == 0
     out = capsys.readouterr().out
     assert "mining_power_utilization vs" in out
+
+
+def _write_scenario(tmp_path, spec):
+    import json
+
+    path = tmp_path / "scenario.json"
+    path.write_text(json.dumps(spec), encoding="utf-8")
+    return path
+
+
+def test_run_with_scenario_and_obs_shows_faults(tmp_path, capsys):
+    scenario = _write_scenario(
+        tmp_path,
+        {
+            "version": 1,
+            "name": "cli-crash",
+            "faults": [
+                {"at": 15.0, "kind": "crash", "node": 2, "down_for": 20.0},
+                {"at": 45.0, "kind": "loss", "rate": 0.05},
+                {"at": 55.0, "kind": "loss", "rate": 0.0},
+            ],
+        },
+    )
+    obs_dir = tmp_path / "obs"
+    code = main(
+        [
+            "run",
+            "--protocol", "bitcoin-ng",
+            "--nodes", "12",
+            "--blocks", "8",
+            "--block-rate", "0.2",
+            "--key-block-rate", "0.05",
+            "--block-size", "3000",
+            "--scenario", str(scenario),
+            "--obs", str(obs_dir),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "scenario:                cli-crash" in out
+    assert "faults injected:         3" in out
+
+    # Fault events land in the trace and surface in the analyzers.
+    assert main(["trace", "summarize", str(obs_dir)]) == 0
+    summary = capsys.readouterr().out
+    assert "faults injected:" in summary
+    assert "node_crash=1" in summary
+    assert "node_restart=1" in summary
+    assert "msg_loss=2" in summary
+
+    assert main(["trace", "timeline", str(obs_dir), "--buckets", "6"]) == 0
+    timeline = capsys.readouterr().out
+    assert "faults" in timeline.splitlines()[1]  # header gains the column
+
+
+def test_run_with_scenario_json_output(tmp_path, capsys):
+    import json
+
+    scenario = _write_scenario(
+        tmp_path,
+        {"version": 1, "name": "j", "faults": [{"at": 5.0, "kind": "heal"}]},
+    )
+    code = main(
+        [
+            "run",
+            "--protocol", "bitcoin",
+            "--nodes", "10",
+            "--blocks", "5",
+            "--block-rate", "0.2",
+            "--block-size", "2000",
+            "--scenario", str(scenario),
+            "--json",
+        ]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["scenario"] == "j"
+    assert payload["faults_injected"] == 1
+
+
+def test_run_with_invalid_scenario_fails_loudly(tmp_path, capsys):
+    scenario = _write_scenario(tmp_path, {"version": 1, "faults": [{"at": 1}]})
+    with pytest.raises(SystemExit):
+        main(
+            [
+                "run",
+                "--protocol", "bitcoin",
+                "--scenario", str(scenario),
+            ]
+        )
+
+
+def test_sweep_with_scenario(tmp_path, capsys):
+    scenario = _write_scenario(
+        tmp_path,
+        {
+            "version": 1,
+            "name": "sweep-loss",
+            "faults": [{"at": 10.0, "kind": "loss", "rate": 0.02}],
+        },
+    )
+    code = main(
+        [
+            "sweep", "frequency",
+            "--nodes", "10",
+            "--blocks", "4",
+            "--jobs", "1",
+            "--scenario", str(scenario),
+        ]
+    )
+    assert code == 0
+    assert "sweep-loss" in capsys.readouterr().out

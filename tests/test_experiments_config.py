@@ -61,3 +61,79 @@ def test_validation():
         ExperimentConfig(block_size_bytes=0)
     with pytest.raises(ValueError):
         ExperimentConfig(target_blocks=0)
+
+
+def test_to_dict_from_dict_round_trip():
+    config = ExperimentConfig(
+        protocol=Protocol.BITCOIN_NG,
+        n_nodes=30,
+        seed=7,
+        block_rate=0.05,
+        obs_dir="out",
+        scenario={
+            "version": 1,
+            "name": "rt",
+            "faults": [{"at": 10, "kind": "heal"}],
+        },
+    )
+    data = config.to_dict()
+    assert data["protocol"] == "bitcoin-ng"
+    assert data["relay_mode"] == "inv"
+    assert data["scenario"]["name"] == "rt"
+    rebuilt = ExperimentConfig.from_dict(data)
+    assert rebuilt == config
+
+
+def test_to_dict_is_json_serializable():
+    import json
+
+    config = ExperimentConfig(
+        scenario={"version": 1, "faults": [{"at": 3, "kind": "restore"}]}
+    )
+    rebuilt = ExperimentConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+    assert rebuilt == config
+
+
+def test_from_dict_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="unknown"):
+        ExperimentConfig.from_dict({"n_nodes": 10, "block_sizee": 100})
+
+
+def test_scenario_normalized_on_construction():
+    config = ExperimentConfig(
+        scenario={
+            "version": 1,
+            "faults": [
+                {"at": 20, "kind": "heal"},
+                {"at": 5, "kind": "restore"},
+            ],
+        }
+    )
+    assert [f["at"] for f in config.scenario["faults"]] == [5.0, 20.0]
+    assert config.scenario["name"] == "scenario"
+
+
+def test_invalid_scenario_rejected_at_config_time():
+    from repro.scenarios import ScenarioError
+
+    with pytest.raises(ScenarioError):
+        ExperimentConfig(scenario={"version": 1, "faults": [{"kind": "bad"}]})
+
+
+def test_equivalent_scenarios_compare_equal():
+    a = ExperimentConfig(
+        scenario={"version": 1, "faults": [{"at": 4, "kind": "heal"}]}
+    )
+    b = ExperimentConfig(
+        scenario={"version": 1, "faults": [{"at": 4.0, "kind": "heal"}]}
+    )
+    assert a == b
+
+
+def test_scenario_config_is_picklable():
+    import pickle
+
+    config = ExperimentConfig(
+        scenario={"version": 1, "faults": [{"at": 1, "kind": "heal"}]}
+    )
+    assert pickle.loads(pickle.dumps(config)) == config

@@ -69,6 +69,65 @@ def test_majority_keeps_consensus_under_churn():
     assert len(tips) == 1
 
 
+def test_offline_node_resyncs_via_tip_solicitation_without_new_block():
+    # Regression: a node that was down across several blocks used to
+    # stay behind until the *next* block happened to arrive as an
+    # orphan.  request_tips() pulls peers' tips immediately; recursive
+    # parent backfill then heals the whole gap with no new mining.
+    sim, net, nodes = _bitcoin_cluster()
+    net.set_offline(4)
+    missed = [nodes[0].generate_block() for _ in range(3)]
+    sim.run()
+    net.set_online(4)
+    assert nodes[4].tip != missed[-1].hash
+    nodes[4].reset_relay_state()
+    nodes[4].request_tips()
+    sim.run()
+    assert nodes[4].tip == missed[-1].hash
+    for block in missed:
+        assert block.hash in nodes[4].tree
+
+
+def test_reset_relay_state_clears_stale_request_wedge():
+    # Regression: if a node crashed while a getdata was outstanding,
+    # the object id stayed in _requested, so fresh invs for exactly the
+    # block it was missing were shelved as alternate sources until the
+    # 120 s request timer expired.
+    sim, net, nodes = _bitcoin_cluster()
+    nodes[0].generate_block()
+    sim.run()
+    block = nodes[0].generate_block()
+    # Let the inv and node 4's getdata go out, then kill the node before
+    # the object arrives — the delivery is dropped by churn.
+    sim.run(until=sim.now + 0.12)
+    assert block.hash in nodes[4]._requested
+    assert block.hash not in nodes[4]._store
+    net.set_offline(4)
+    # Stay well inside the 120 s request timeout: the wedge is only
+    # cleared by that timer, which is exactly the problem.
+    sim.run(until=sim.now + 10.0)
+    net.set_online(4)
+    # Stale bookkeeping survives the outage...
+    assert block.hash in nodes[4]._requested
+    nodes[4].reset_relay_state()
+    assert block.hash not in nodes[4]._requested
+    assert not nodes[4]._request_timers
+    # ...and once cleared, the tip solicitation heals the node now
+    # rather than after the request timeout.
+    nodes[4].request_tips()
+    sim.run()
+    assert nodes[4].tip == block.hash
+
+
+def test_gettip_from_fresh_node_is_harmless():
+    # A gettip to a node whose best object is not in its relay store
+    # (genesis only) is simply not answered.
+    sim, net, nodes = _bitcoin_cluster()
+    nodes[4].request_tips()
+    sim.run()
+    assert all(node.tip == nodes[0].tip for node in nodes)
+
+
 def test_ng_leader_crash_epoch_ends_with_next_key_block():
     # "a benign leader that crashes during his epoch of leadership will
     # publish no microblocks.  Their influence ends once the next leader

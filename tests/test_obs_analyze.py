@@ -127,3 +127,48 @@ def test_find_traces_errors(tmp_path):
         find_traces(tmp_path)
     with pytest.raises(TraceError, match="no such file"):
         find_traces(tmp_path / "missing")
+
+
+FAULT_SAMPLE = SAMPLE[:-1] + [
+    _rec("node_crash", 3.0, node=4, down_for=10.0),
+    _rec("node_restart", 13.0, node=4),
+    _rec("partition", 4.0, groups=2, cut=12),
+    _rec("heal", 6.0, restored=12),
+    _rec("link_degrade", 7.0, links=40, latency_mult=2.0, bandwidth_mult=0.5),
+    _rec("link_restore", 8.0, links=40),
+    _rec("msg_loss", 8.5, rate=0.05),
+    _rec("trace_end", 100.0, records=23),
+]
+
+
+def test_summarize_counts_fault_events():
+    s = summarize(FAULT_SAMPLE)
+    assert s.faults == {
+        "node_crash": 1,
+        "node_restart": 1,
+        "partition": 1,
+        "heal": 1,
+        "link_degrade": 1,
+        "link_restore": 1,
+        "msg_loss": 1,
+    }
+    text = format_summary(s)
+    assert "faults injected:" in text
+    assert "node_crash=1" in text
+
+
+def test_summary_without_faults_omits_the_line():
+    assert "faults injected:" not in format_summary(summarize(SAMPLE))
+
+
+def test_timeline_fault_column_only_when_present():
+    bare = format_timeline(SAMPLE, buckets=4)
+    assert "faults" not in bare.splitlines()[0]
+    faulty = format_timeline(FAULT_SAMPLE, buckets=4)
+    header = faulty.splitlines()[0]
+    assert "faults" in header
+    # Fault events at t=3..13 land in the early buckets.
+    total_faults = sum(
+        int(line.split()[5]) for line in faulty.splitlines()[1:]
+    )
+    assert total_faults == 7

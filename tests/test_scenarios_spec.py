@@ -1,0 +1,155 @@
+"""Scenario spec validation: strict schema, friendly normalization."""
+
+import json
+
+import pytest
+
+from repro.scenarios import (
+    FAULT_KINDS,
+    SCENARIO_VERSION,
+    ScenarioError,
+    load_scenario,
+    validate_scenario,
+)
+
+
+def _spec(*faults, **extra):
+    return {"version": SCENARIO_VERSION, "faults": list(faults), **extra}
+
+
+def test_minimal_empty_scenario_validates():
+    out = validate_scenario(_spec())
+    assert out == {
+        "version": SCENARIO_VERSION,
+        "name": "scenario",
+        "faults": [],
+    }
+
+
+def test_name_and_description_survive():
+    out = validate_scenario(_spec(name="np", description="desc"))
+    assert out["name"] == "np"
+    assert out["description"] == "desc"
+
+
+def test_faults_sorted_by_time_stably():
+    out = validate_scenario(
+        _spec(
+            {"at": 50, "kind": "heal"},
+            {"at": 10, "kind": "restore"},
+            {"at": 50, "kind": "restore"},
+        )
+    )
+    kinds = [(f["at"], f["kind"]) for f in out["faults"]]
+    assert kinds == [(10.0, "restore"), (50.0, "heal"), (50.0, "restore")]
+
+
+def test_numbers_normalized_to_float():
+    out = validate_scenario(
+        _spec({"at": 5, "kind": "crash", "node": 1, "down_for": 7})
+    )
+    fault = out["faults"][0]
+    assert isinstance(fault["at"], float)
+    assert isinstance(fault["down_for"], float)
+    assert fault["node"] == 1  # node ids stay integers
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "not a dict",
+        {"faults": []},  # missing version
+        {"version": 99, "faults": []},
+        {"version": SCENARIO_VERSION},  # missing faults
+        {"version": SCENARIO_VERSION, "faults": {}},
+        {"version": SCENARIO_VERSION, "faults": [], "name": 3},
+        {"version": SCENARIO_VERSION, "faults": [], "typo": 1},
+    ],
+)
+def test_malformed_scenarios_rejected(bad):
+    with pytest.raises(ScenarioError):
+        validate_scenario(bad)
+
+
+@pytest.mark.parametrize(
+    "fault",
+    [
+        {"kind": "crash", "node": 0},  # missing at
+        {"at": 1, "kind": "meteor"},  # unknown kind
+        {"at": 1, "kind": "crash"},  # missing node
+        {"at": 1, "kind": "crash", "node": -1},
+        {"at": 1, "kind": "crash", "node": True},
+        {"at": 1, "kind": "crash", "node": 0, "down_for": 0},
+        {"at": 1, "kind": "crash", "node": 0, "extra": 1},  # stray field
+        {"at": 1, "kind": "restart", "node": "leader"},  # int only
+        {"at": 1, "kind": "partition"},  # needs groups or split
+        {"at": 1, "kind": "partition", "split": "thirds"},
+        {"at": 1, "kind": "partition", "groups": [[0, 1]], "split": "halves"},
+        {"at": 1, "kind": "partition", "groups": [[0, 1]]},  # one group
+        {"at": 1, "kind": "partition", "groups": [[0], [0]]},  # overlap
+        {"at": 1, "kind": "partition", "groups": [[0], []]},  # empty group
+        {"at": 1, "kind": "heal", "node": 0},  # heal takes no fields
+        {"at": 1, "kind": "degrade", "latency_mult": 0},
+        {"at": 1, "kind": "degrade", "bandwidth_mult": -2},
+        {"at": 1, "kind": "degrade", "links": []},
+        {"at": 1, "kind": "degrade", "links": [[1]]},
+        {"at": 1, "kind": "loss"},  # missing rate
+        {"at": 1, "kind": "loss", "rate": 1.0},  # must be < 1
+        {"at": 1, "kind": "loss", "rate": -0.1},
+    ],
+)
+def test_malformed_faults_rejected(fault):
+    with pytest.raises(ScenarioError):
+        validate_scenario(_spec(fault))
+
+
+def test_every_documented_kind_validates():
+    samples = {
+        "crash": {"node": "leader"},
+        "restart": {"node": 2},
+        "partition": {"split": "halves"},
+        "heal": {},
+        "degrade": {"latency_mult": 2.0, "links": [[0, 1]]},
+        "restore": {},
+        "loss": {"rate": 0.25},
+    }
+    assert set(samples) == set(FAULT_KINDS)
+    faults = [
+        {"at": float(i), "kind": kind, **fields}
+        for i, (kind, fields) in enumerate(samples.items())
+    ]
+    out = validate_scenario(_spec(*faults))
+    assert [f["kind"] for f in out["faults"]] == list(samples)
+
+
+def test_degrade_defaults_fill_in():
+    out = validate_scenario(_spec({"at": 1, "kind": "degrade"}))
+    fault = out["faults"][0]
+    assert fault["latency_mult"] == 1.0
+    assert fault["bandwidth_mult"] == 1.0
+    assert "links" not in fault
+
+
+def test_load_scenario_round_trip(tmp_path):
+    spec = _spec({"at": 9, "kind": "loss", "rate": 0.1}, name="file-test")
+    path = tmp_path / "s.json"
+    path.write_text(json.dumps(spec), encoding="utf-8")
+    assert load_scenario(path) == validate_scenario(spec)
+
+
+def test_load_scenario_bad_file(tmp_path):
+    with pytest.raises(ScenarioError):
+        load_scenario(tmp_path / "missing.json")
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json", encoding="utf-8")
+    with pytest.raises(ScenarioError):
+        load_scenario(bad)
+
+
+def test_shipped_examples_validate():
+    from pathlib import Path
+
+    examples = Path(__file__).resolve().parents[1] / "examples"
+    for name in ("leader_crash.json", "partition_heal.json"):
+        spec = load_scenario(examples / name)
+        assert spec["faults"], name
