@@ -326,6 +326,37 @@ def test_scenario_disabled_overhead():
     )
 
 
+def test_lint_speed():
+    """The static analyzer fits a pre-commit budget: src/ in under 10s.
+
+    ``repro lint`` is wired into CI and meant for pre-commit hooks, so
+    its wall time on the full tree is a perf surface like any other:
+    the budget trips if a rule ever grows a quadratic pass.  The clean
+    assertion doubles as the merged-tree invariant the CI lint job
+    enforces — zero findings, no frozen baseline debt.
+    """
+    from repro.lint import RULES, lint_paths
+
+    src = pathlib.Path(__file__).resolve().parent.parent / "src"
+    start = time.perf_counter()
+    report = lint_paths([src])
+    wall = time.perf_counter() - start
+    update_bench(
+        BENCH_JSON,
+        "lint",
+        {
+            "files_scanned": report.files_scanned,
+            "rules": len(RULES),
+            "wall_seconds": round(wall, 3),
+            "findings": len(report.findings),
+        },
+    )
+    assert report.findings == [], "\n".join(
+        finding.format() for finding in report.findings
+    )
+    assert wall < 10.0, f"lint took {wall:.2f}s on src/ (budget: 10s)"
+
+
 def test_bench_json_is_valid():
     """The emitted trajectory file parses and has every section."""
     data = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
@@ -335,6 +366,7 @@ def test_bench_json_is_valid():
         "sweep_dispatch",
         "obs_overhead",
         "scenario_overhead",
+        "lint",
         "baseline",
     ):
         assert section in data, f"missing {section}"

@@ -12,6 +12,8 @@ Examples::
     python -m repro trace summarize out/
     python -m repro trace timeline out/ --buckets 30
     python -m repro trace toptalkers out/ --top 10
+    python -m repro lint src/ --json
+    python -m repro lint --explain NG301
 """
 
 from __future__ import annotations
@@ -347,6 +349,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     for sub in (summarize_parser, timeline_parser, talkers_parser):
         sub.set_defaults(handler=_cmd_trace)
+
+    from .lint.cli import add_lint_parser
+
+    add_lint_parser(commands)
     return parser
 
 

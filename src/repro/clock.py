@@ -1,0 +1,24 @@
+"""The sanctioned wall-clock access point.
+
+Everything inside a simulation runs on *virtual* time
+(:attr:`repro.net.simulator.Simulator.now`); real wall-clock reads are
+only legitimate for performance accounting — how long setup or the
+dispatch loop took.  Scattering ``time.perf_counter()`` calls through
+the tree makes it impossible to audit that no wall-clock value ever
+leaks into simulation state, so every wall-clock read goes through this
+one module and ``repro lint`` (rule NG201, see
+``docs/static-analysis.md``) flags any other callsite.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def wall_clock() -> float:
+    """A monotonic wall-clock reading in seconds, for perf accounting.
+
+    The value is only meaningful as a difference between two readings;
+    it must never feed simulation state, RNG seeds, or event times.
+    """
+    return time.perf_counter()

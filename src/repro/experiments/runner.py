@@ -16,9 +16,9 @@ and is wired here when present; a bare run never touches the engine.
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass, field
 
+from ..clock import wall_clock
 from ..metrics import (
     ObservationLog,
     consensus_delay,
@@ -114,7 +114,7 @@ def run_experiment(
     set.  Setup (topology, links, nodes) and simulation are timed
     separately so event-rate figures cover only the simulate phase.
     """
-    setup_started = time.perf_counter()
+    setup_started = wall_clock()
     adapter = get_adapter(config.protocol)
     sim = Simulator(seed=config.seed)
     if obs is None:
@@ -150,13 +150,13 @@ def run_experiment(
             tracer=obs.tracer,
         )
         engine.install()
-    wall_setup = time.perf_counter() - setup_started
-    simulate_started = time.perf_counter()
+    wall_setup = wall_clock() - setup_started
+    simulate_started = wall_clock()
     scheduler.start()
     sim.run(until=config.duration)
     scheduler.stop()
     sim.run(until=horizon)
-    wall_simulate = time.perf_counter() - simulate_started
+    wall_simulate = wall_clock() - simulate_started
     log.finalize(horizon)
     snapshot = obs.finalize(network=network, end_time=horizon)
     result = ExperimentResult(

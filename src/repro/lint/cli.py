@@ -1,0 +1,167 @@
+"""The ``repro lint`` subcommand: text/JSON output, baseline, --explain.
+
+Exit codes: 0 clean (or baseline written), 1 findings, 2 usage errors
+(unknown rule code, unreadable baseline).  Kept separate from
+:mod:`repro.cli` so the argparse wiring there stays one line per
+subcommand and the analyzer imports only when invoked.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .engine import LintReport, lint_paths
+from .findings import load_baseline, write_baseline
+from .rules import RULES
+
+#: Where the bad/good example fixtures live, relative to the repo root.
+FIXTURE_DIR = Path("tests") / "lint_fixtures"
+
+
+def add_lint_parser(commands: argparse._SubParsersAction) -> None:
+    parser = commands.add_parser(
+        "lint",
+        help="run the determinism & protocol-invariant static analyzer",
+        description=(
+            "Analyze Python sources for determinism hazards (unseeded "
+            "RNG, wall-clock leaks, unordered iteration driving the "
+            "event heap) and protocol-layer violations. See "
+            "docs/static-analysis.md for the rule catalog."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable findings (schema v1)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="baseline file freezing known findings (JSON)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings into --baseline FILE and exit 0",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="CODE",
+        default=None,
+        help="print a rule's rationale and bad/good example pair",
+    )
+    parser.set_defaults(handler=cmd_lint)
+
+
+def _find_fixture(code: str, suffix: str) -> str | None:
+    """The committed fixture snippet for ``code``, if locatable.
+
+    Searched relative to the working directory and to the repository
+    this module lives in; an installed wheel without the test tree
+    falls back to the rule's embedded examples (same content — a test
+    pins them equal).
+    """
+    candidates = [
+        Path.cwd() / FIXTURE_DIR,
+        Path(__file__).resolve().parents[3] / FIXTURE_DIR,
+    ]
+    for directory in candidates:
+        fixture = directory / f"{code}_{suffix}.py"
+        if fixture.is_file():
+            return fixture.read_text(encoding="utf-8")
+    return None
+
+
+def _explain(code: str) -> int:
+    rule = RULES.get(code)
+    if rule is None:
+        known = ", ".join(sorted(RULES))
+        print(f"error: unknown rule code {code!r} (known: {known})",
+              file=sys.stderr)
+        return 2
+    bad = _find_fixture(code, "bad") or rule.bad_example
+    good = _find_fixture(code, "good") or rule.good_example
+    print(f"{rule.code} ({rule.name})")
+    print()
+    print(rule.rationale)
+    print()
+    print("bad:")
+    for line in bad.rstrip().splitlines():
+        print(f"    {line}")
+    print()
+    print("good:")
+    for line in good.rstrip().splitlines():
+        print(f"    {line}")
+    print()
+    print(f"suppress one site with:  # repro: allow[{rule.code}]")
+    return 0
+
+
+def _print_text(report: LintReport, baseline_path: str | None) -> None:
+    for finding in report.findings:
+        print(finding.format())
+    summary = (
+        f"{len(report.findings)} finding(s) in "
+        f"{report.files_scanned} file(s)"
+    )
+    extras = []
+    if report.suppressed:
+        extras.append(f"{report.suppressed} suppressed inline")
+    if report.baselined:
+        extras.append(f"{report.baselined} hidden by baseline")
+    if extras:
+        summary += f" ({', '.join(extras)})"
+    print(summary)
+    for fingerprint in report.stale_baseline:
+        print(
+            f"warning: stale baseline entry (fixed? remove it from "
+            f"{baseline_path}): {fingerprint}",
+            file=sys.stderr,
+        )
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    if args.explain is not None:
+        return _explain(args.explain)
+
+    baseline: dict[str, str] | None = None
+    if args.baseline and not args.write_baseline:
+        baseline_file = Path(args.baseline)
+        if baseline_file.exists():
+            try:
+                baseline = load_baseline(baseline_file)
+            except (ValueError, json.JSONDecodeError) as exc:
+                print(f"error: bad baseline {args.baseline}: {exc}",
+                      file=sys.stderr)
+                return 2
+
+    try:
+        report = lint_paths(args.paths, baseline=baseline)
+    except (FileNotFoundError, SyntaxError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        if not args.baseline:
+            print("error: --write-baseline requires --baseline FILE",
+                  file=sys.stderr)
+            return 2
+        count = write_baseline(args.baseline, report.findings)
+        print(f"baseline written: {count} entry(ies) to {args.baseline}")
+        return 0
+
+    if args.json:
+        print(json.dumps(report.to_payload(), indent=2, sort_keys=True))
+    else:
+        _print_text(report, args.baseline)
+    return 0 if report.clean else 1

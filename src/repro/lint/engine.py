@@ -1,0 +1,236 @@
+"""The analyzer driver: collect files, run rules, apply escape hatches.
+
+Two passes over the scanned tree:
+
+1. a *type-hint harvest* that records every identifier the project
+   annotates (or assigns) as a ``set``/``frozenset`` — attribute names
+   from ``self.x: set[int]``, dataclass fields, function parameters,
+   and plain assignments from ``set()``/``frozenset()`` calls.  The
+   harvest is project-wide, so ``repro.net.network`` iterating
+   ``topology.edges`` is caught even though ``edges`` is declared in
+   ``repro.net.topology``;
+2. the rule visitors themselves, one instance per (rule, module).
+
+Findings then pass through inline suppressions and the optional
+baseline, and come out sorted by (path, line, code) so output is stable
+for tests and CI diffs.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from .findings import Finding, is_suppressed, split_by_baseline
+from .rules import ImportMap, ModuleContext, Rule, all_rules
+
+#: Fixture files (and only fixtures) may claim a module identity so
+#: layer/allowlist rules can be exercised outside the real tree.
+MODULE_DIRECTIVE_RE = re.compile(
+    r"#\s*repro-lint:\s*module=([A-Za-z_][\w.]*)"
+)
+#: How many leading lines are searched for the module directive.
+DIRECTIVE_WINDOW = 5
+
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass
+class LintReport:
+    """Outcome of one analyzer run."""
+
+    findings: list[Finding]  #: surviving findings (fail the run)
+    suppressed: int  #: hits silenced by inline ``# repro: allow[...]``
+    baselined: int  #: hits hidden by the baseline file
+    stale_baseline: list[str]  #: baseline entries matching nothing
+    files_scanned: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def to_payload(self) -> dict[str, Any]:
+        """The ``repro lint --json`` document."""
+        return {
+            "version": JSON_SCHEMA_VERSION,
+            "findings": [f.to_dict() for f in self.findings],
+            "summary": {
+                "files_scanned": self.files_scanned,
+                "findings": len(self.findings),
+                "suppressed": self.suppressed,
+                "baselined": self.baselined,
+                "stale_baseline": self.stale_baseline,
+            },
+        }
+
+
+@dataclass
+class _ParsedModule:
+    path: Path
+    display_path: str
+    module: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+
+def collect_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py list."""
+    seen: dict[Path, None] = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if "__pycache__" not in candidate.parts:
+                    seen.setdefault(candidate, None)
+        elif path.suffix == ".py":
+            seen.setdefault(path, None)
+        else:
+            raise FileNotFoundError(f"not a .py file or directory: {path}")
+    return sorted(seen)
+
+
+def infer_module(path: Path) -> str:
+    """Dotted module name, anchored at the last ``repro`` path part."""
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    if "repro" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        return ".".join(parts[anchor:])
+    return parts[-1] if parts else ""
+
+
+def _module_name(path: Path, lines: list[str]) -> str:
+    for line in lines[:DIRECTIVE_WINDOW]:
+        match = MODULE_DIRECTIVE_RE.search(line)
+        if match:
+            return match.group(1)
+    return infer_module(path)
+
+
+def _annotation_is_setlike(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return False
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Name) and node.id in (
+            "set",
+            "frozenset",
+            "Set",
+            "FrozenSet",
+        ):
+            return True
+    return False
+
+
+def _target_identifier(target: ast.expr) -> str | None:
+    if isinstance(target, ast.Name):
+        return target.id
+    if isinstance(target, ast.Attribute) and isinstance(
+        target.value, ast.Name
+    ):
+        return target.attr
+    return None
+
+
+def harvest_set_identifiers(trees: Iterable[ast.Module]) -> frozenset[str]:
+    """Identifiers the project declares or builds as set/frozenset.
+
+    Over-approximates on purpose (a name counts if *any* module types
+    it as a set): the consumer rule (NG301) only fires when the loop
+    body is effectful, and a stray hit is one ``sorted()`` or inline
+    suppression away — cheap compared to a silent ordering heisenbug.
+    """
+    names: set[str] = set()
+    for tree in trees:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.AnnAssign):
+                if _annotation_is_setlike(node.annotation):
+                    identifier = _target_identifier(node.target)
+                    if identifier:
+                        names.add(identifier)
+            elif isinstance(node, ast.arg):
+                if _annotation_is_setlike(node.annotation):
+                    names.add(node.arg)
+            elif isinstance(node, ast.Assign):
+                value = node.value
+                is_set_value = isinstance(value, ast.Set) or (
+                    isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Name)
+                    and value.func.id in ("set", "frozenset")
+                )
+                if is_set_value:
+                    for target in node.targets:
+                        identifier = _target_identifier(target)
+                        if identifier:
+                            names.add(identifier)
+    return frozenset(names)
+
+
+def _parse(path: Path) -> _ParsedModule:
+    source = path.read_text(encoding="utf-8")
+    lines = source.splitlines()
+    tree = ast.parse(source, filename=str(path))
+    return _ParsedModule(
+        path=path,
+        display_path=path.as_posix(),
+        module=_module_name(path, lines),
+        tree=tree,
+        lines=lines,
+    )
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    *,
+    baseline: dict[str, str] | None = None,
+    codes: Sequence[str] | None = None,
+) -> LintReport:
+    """Run every registered rule over ``paths`` and apply escape hatches.
+
+    ``codes`` restricts the run to a subset of rule codes (used by the
+    fixture tests to exercise one rule at a time).
+    """
+    files = collect_files(paths)
+    modules = [_parse(path) for path in files]
+    set_attrs = harvest_set_identifiers(m.tree for m in modules)
+
+    selected = all_rules()
+    if codes is not None:
+        unknown = set(codes) - {rule.code for rule in selected}
+        if unknown:
+            raise KeyError(f"unknown rule codes: {sorted(unknown)}")
+        selected = [rule for rule in selected if rule.code in set(codes)]
+
+    raw: list[Finding] = []
+    suppressed = 0
+    for parsed in modules:
+        context = ModuleContext(
+            path=parsed.display_path,
+            module=parsed.module,
+            lines=parsed.lines,
+            imports=ImportMap.of(parsed.tree),
+            set_attrs=set_attrs,
+        )
+        for rule_cls in selected:
+            if not rule_cls.applies_to(parsed.module):
+                continue
+            rule: Rule = rule_cls(context)
+            rule.visit(parsed.tree)
+            for finding in rule.findings:
+                if is_suppressed(finding, parsed.lines):
+                    suppressed += 1
+                else:
+                    raw.append(finding)
+
+    raw.sort(key=lambda f: (f.path, f.line, f.code))
+    new, hidden, stale = split_by_baseline(raw, baseline or {})
+    return LintReport(
+        findings=new,
+        suppressed=suppressed,
+        baselined=len(hidden),
+        stale_baseline=stale,
+        files_scanned=len(files),
+    )

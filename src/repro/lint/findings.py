@@ -1,0 +1,165 @@
+"""Finding model, inline suppressions, and the frozen-debt baseline.
+
+A :class:`Finding` is one rule hit: file, position, rule code, message,
+and the offending source line.  Findings are value objects that
+round-trip through JSON (``repro lint --json``) and are identified for
+baselining by a *fingerprint* that deliberately excludes the line
+number — code moving around a file must not resurrect frozen debt.
+
+Two escape hatches exist, in increasing scope:
+
+* an inline ``# repro: allow[CODE]`` comment on the offending line (or
+  the line directly above it) suppresses one finding at one site;
+* a committed baseline file (``repro lint --baseline FILE``) freezes a
+  set of known findings with a justification each, hiding them until
+  the underlying code changes — at which point they resurface.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable
+
+#: Inline suppression: ``# repro: allow[NG101]`` or ``allow[NG101,NG301]``.
+SUPPRESS_RE = re.compile(r"#\s*repro:\s*allow\[([A-Z0-9,\s]+)\]")
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One static-analysis finding."""
+
+    path: str  #: file as scanned, posix separators
+    line: int  #: 1-based line of the offending node
+    col: int  #: 0-based column of the offending node
+    code: str  #: rule code, e.g. ``"NG101"``
+    message: str  #: human explanation of this specific hit
+    snippet: str  #: the offending source line, stripped
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-free identity used by the baseline mechanism.
+
+        Hashing the snippet rather than recording the line means the
+        baseline survives unrelated edits above the finding, but any
+        change to the offending line itself resurfaces it.
+        """
+        digest = hashlib.sha256(self.snippet.encode("utf-8")).hexdigest()[:12]
+        return f"{self.path}:{self.code}:{digest}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Finding":
+        return cls(
+            path=data["path"],
+            line=int(data["line"]),
+            col=int(data["col"]),
+            code=data["code"],
+            message=data["message"],
+            snippet=data["snippet"],
+        )
+
+    def format(self) -> str:
+        """The two-line text rendering used by the CLI."""
+        return (
+            f"{self.path}:{self.line}:{self.col + 1}: "
+            f"{self.code} {self.message}\n    {self.snippet}"
+        )
+
+
+def suppressed_codes(lines: list[str], line: int) -> set[str]:
+    """Codes allowed at 1-based ``line`` by inline comments.
+
+    Both the offending line and the line directly above it are
+    honoured, so long statements can carry the comment on their own
+    line without fighting formatters.
+    """
+    codes: set[str] = set()
+    for lineno in (line, line - 1):
+        if 1 <= lineno <= len(lines):
+            match = SUPPRESS_RE.search(lines[lineno - 1])
+            if match:
+                codes.update(
+                    part.strip() for part in match.group(1).split(",")
+                )
+    return codes
+
+
+def is_suppressed(finding: Finding, lines: list[str]) -> bool:
+    return finding.code in suppressed_codes(lines, finding.line)
+
+
+# -- baseline ----------------------------------------------------------------
+
+
+def load_baseline(path: str | Path) -> dict[str, str]:
+    """Read a baseline file into ``{fingerprint: justification}``."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {data.get('version')!r} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    entries = data.get("entries", {})
+    if not isinstance(entries, dict):
+        raise ValueError("baseline 'entries' must be an object")
+    return {str(k): str(v) for k, v in entries.items()}
+
+
+def write_baseline(
+    path: str | Path,
+    findings: Iterable[Finding],
+    justification: str = "frozen by repro lint --write-baseline; justify me",
+) -> int:
+    """Freeze ``findings`` into a baseline file; returns the entry count.
+
+    Every entry carries a justification string the team is expected to
+    edit — an unexplained baseline is just hidden debt.
+    """
+    entries = {f.fingerprint: justification for f in findings}
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return len(entries)
+
+
+def split_by_baseline(
+    findings: list[Finding], baseline: dict[str, str]
+) -> tuple[list[Finding], list[Finding], list[str]]:
+    """Partition findings against a baseline.
+
+    Returns ``(new, hidden, stale)``: findings not in the baseline,
+    findings the baseline hides, and baseline fingerprints that no
+    longer match anything (fixed debt whose entry should be deleted).
+    """
+    if not baseline:
+        return findings, [], []
+    new: list[Finding] = []
+    hidden: list[Finding] = []
+    seen: set[str] = set()
+    for finding in findings:
+        fingerprint = finding.fingerprint
+        if fingerprint in baseline:
+            hidden.append(finding)
+            seen.add(fingerprint)
+        else:
+            new.append(finding)
+    stale = sorted(set(baseline) - seen)
+    return new, hidden, stale

@@ -29,7 +29,7 @@ class Event:
         time: float,
         sequence: int,
         callback: Callable[..., Any],
-        args: tuple = (),
+        args: tuple[Any, ...] = (),
     ) -> None:
         self.time = time
         self.sequence = sequence

@@ -107,7 +107,7 @@ class GossipNode:
 
     # -- subclass interface -------------------------------------------------
 
-    def deliver(self, obj: StoredObject, sender: int | None):
+    def deliver(self, obj: StoredObject, sender: int | None) -> bool | None:
         """Handle a newly learned object; ``sender`` is None if local.
 
         Return ``False`` to veto relay: the object is dropped from the

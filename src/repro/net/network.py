@@ -49,7 +49,7 @@ class Network:
         latency_histogram: LatencyHistogram,
         bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
         latency_rng: random.Random | None = None,
-        obs=None,
+        obs: Any | None = None,
     ) -> None:
         self.sim = sim
         self.topology = topology
@@ -91,8 +91,10 @@ class Network:
         self.messages_delivered = 0
         self.bytes_delivered = 0
         rng = latency_rng or sim.rng
-        for edge in topology.edges:
-            a, b = sorted(edge)
+        # Edges are drawn from the topology's *set* in sorted order:
+        # each pair's latency is the k-th RNG draw for a fixed k, never
+        # a function of hash layout or edge insertion order (NG301).
+        for a, b in sorted(tuple(sorted(edge)) for edge in topology.edges):
             # One latency per pair (symmetric), independent queues per
             # direction — matching how pairwise latency was assigned.
             latency = latency_histogram.sample(rng)
@@ -163,6 +165,7 @@ class Network:
                 key: (link.latency, link.bandwidth)
                 for key, link in self._links.items()
             }
+        base_params = self._base_link_params
         if pairs is None:
             keys = list(self._links)
         else:
@@ -174,7 +177,7 @@ class Network:
                 keys.append((b, a))
         for key in keys:
             link = self._links[key]
-            base_latency, base_bandwidth = self._base_link_params[key]
+            base_latency, base_bandwidth = base_params[key]
             link.latency = base_latency * latency_mult
             link.bandwidth = base_bandwidth * bandwidth_mult
         return len(keys)
@@ -216,10 +219,13 @@ class Network:
             return
         # Probabilistic loss draws only while a lossy window is active,
         # and only from the dedicated fault RNG stream.
-        if self._loss_rate and self._loss_rng.random() < self._loss_rate:
-            if self._obs_on:
-                self._record_drop(src, dst, message)
-            return
+        if self._loss_rate:
+            loss_rng = self._loss_rng
+            assert loss_rng is not None  # set_loss pairs the rate with an RNG
+            if loss_rng.random() < self._loss_rate:
+                if self._obs_on:
+                    self._record_drop(src, dst, message)
+                return
         link = self._links.get((src, dst))
         if link is None:
             raise ValueError(f"nodes {src} and {dst} are not adjacent")

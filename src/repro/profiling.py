@@ -26,11 +26,11 @@ import cProfile
 import io
 import json
 import pstats
-import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any
 
+from .clock import wall_clock
 from .experiments.config import ExperimentConfig
 from .experiments.runner import ExperimentResult, run_experiment
 
@@ -68,9 +68,9 @@ def measure_run(
     config: ExperimentConfig,
 ) -> tuple[ExperimentResult, RunPerf]:
     """Run one experiment, returning its result and perf counters."""
-    start = time.perf_counter()
+    start = wall_clock()
     result, _log = run_experiment(config)
-    return result, _perf(result, time.perf_counter() - start)
+    return result, _perf(result, wall_clock() - start)
 
 
 def best_of(config: ExperimentConfig, repeats: int = 3) -> RunPerf:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import abc
 import enum
+from collections.abc import Sequence
 from typing import TYPE_CHECKING, ClassVar
 
 from .bitcoin.blocks import make_genesis
@@ -32,6 +33,10 @@ from .mining.scheduler import MiningScheduler
 from .net.gossip import GossipNode
 
 if TYPE_CHECKING:
+    # Type-only: at runtime repro.experiments.config imports *this*
+    # module (the Protocol enum lives here), so the reverse import must
+    # never execute.
+    from .experiments.config import ExperimentConfig
     from .metrics import ObservationLog
     from .net.network import Network
     from .net.simulator import Simulator
@@ -70,32 +75,38 @@ class ProtocolAdapter(abc.ABC):
     @abc.abstractmethod
     def build_nodes(
         self,
-        config,
-        sim: "Simulator",
-        network: "Network",
-        log: "ObservationLog",
+        config: ExperimentConfig,
+        sim: Simulator,
+        network: Network,
+        log: ObservationLog,
         shares: list[float],
-    ) -> tuple[list[GossipNode], MiningScheduler]:
+    ) -> tuple[Sequence[GossipNode], MiningScheduler]:
         """Build the protocol's nodes and the scheduler that mines for them."""
 
-    def current_leader(self, nodes: list[GossipNode]) -> int | None:
+    def current_leader(self, nodes: Sequence[GossipNode]) -> int | None:
         """The node id currently serializing transactions, if the
         protocol has such a role (Bitcoin-NG's epoch leader).  ``None``
         for leaderless protocols; scenario faults addressed to
         ``"leader"`` are then skipped."""
         return None
 
-    def on_crash(self, node: GossipNode, *, sim, network) -> None:
+    def on_crash(
+        self, node: GossipNode, *, sim: Simulator, network: Network
+    ) -> None:
         """Protocol state reaction to a crash.  The engine has already
         taken the node off the network and zeroed its mining power;
         adapters add protocol-specific teardown on top."""
 
-    def on_restart(self, node: GossipNode, *, sim, network) -> None:
+    def on_restart(
+        self, node: GossipNode, *, sim: Simulator, network: Network
+    ) -> None:
         """Reaction to a restart; the node is back online.  Default:
         resynchronize with the network."""
         self.resync(node, sim=sim, network=network)
 
-    def resync(self, node: GossipNode, *, sim, network) -> None:
+    def resync(
+        self, node: GossipNode, *, sim: Simulator, network: Network
+    ) -> None:
         """Catch a rejoining node up with its peers.
 
         Volatile relay bookkeeping is dropped first: a getdata that was
@@ -115,7 +126,14 @@ class BitcoinAdapter(ProtocolAdapter):
 
     name = Protocol.BITCOIN.value
 
-    def build_nodes(self, config, sim, network, log, shares):
+    def build_nodes(
+        self,
+        config: ExperimentConfig,
+        sim: Simulator,
+        network: Network,
+        log: ObservationLog,
+        shares: list[float],
+    ) -> tuple[list[BitcoinNode], MiningScheduler]:
         genesis = make_genesis()
         policy = BlockPolicy(
             max_block_bytes=config.block_size_bytes,
@@ -150,7 +168,14 @@ class GhostAdapter(ProtocolAdapter):
 
     name = Protocol.GHOST.value
 
-    def build_nodes(self, config, sim, network, log, shares):
+    def build_nodes(
+        self,
+        config: ExperimentConfig,
+        sim: Simulator,
+        network: Network,
+        log: ObservationLog,
+        shares: list[float],
+    ) -> tuple[list[GhostNode], MiningScheduler]:
         genesis = make_genesis()
         policy = BlockPolicy(
             max_block_bytes=config.block_size_bytes,
@@ -184,7 +209,14 @@ class BitcoinNGAdapter(ProtocolAdapter):
 
     name = Protocol.BITCOIN_NG.value
 
-    def build_nodes(self, config, sim, network, log, shares):
+    def build_nodes(
+        self,
+        config: ExperimentConfig,
+        sim: Simulator,
+        network: Network,
+        log: ObservationLog,
+        shares: list[float],
+    ) -> tuple[list[NGNode], MiningScheduler]:
         micro_interval = 1.0 / config.block_rate
         params = NGParams(
             key_block_interval=1.0 / config.key_block_rate,
@@ -226,24 +258,30 @@ class BitcoinNGAdapter(ProtocolAdapter):
         )
         return nodes, scheduler
 
-    def current_leader(self, nodes):
-        for node in nodes:
+    def current_leader(self, nodes: Sequence[GossipNode]) -> int | None:
+        ng_nodes = [node for node in nodes if isinstance(node, NGNode)]
+        for node in ng_nodes:
             if node.is_leader():
                 return node.node_id
+        if not ng_nodes:
+            return None
         # Between a leader learning of its dethroning and anyone taking
         # over, fall back to whoever signed the latest key block.
-        latest = nodes[0].chain.latest_key_block()
+        latest = ng_nodes[0].chain.latest_key_block()
         pubkey = latest.block.header.leader_pubkey
-        for node in nodes:
+        for node in ng_nodes:
             if node.pubkey_bytes == pubkey:
                 return node.node_id
         return None  # genesis epoch: its key belongs to no node
 
-    def on_crash(self, node, *, sim, network):
+    def on_crash(
+        self, node: GossipNode, *, sim: Simulator, network: Network
+    ) -> None:
         # A crashed leader publishes no more microblocks; "their
         # influence ends once the next leader publishes his key block"
         # (Section 4).  Abdicating stops the generation timer loop.
-        node.abdicate()
+        if isinstance(node, NGNode):
+            node.abdicate()
 
 
 # -- registry ----------------------------------------------------------------

@@ -27,9 +27,19 @@ faults interleaved with consensus activity.
 from __future__ import annotations
 
 import random
+from typing import TYPE_CHECKING, Any
 
 from ..net.partitions import PartitionController
 from .spec import ScenarioError, validate_scenario
+
+if TYPE_CHECKING:
+    from collections.abc import Sequence
+
+    from ..mining.scheduler import MiningScheduler
+    from ..net.gossip import GossipNode
+    from ..net.network import Network
+    from ..net.simulator import Simulator
+    from ..protocols import ProtocolAdapter
 
 # Offset folded into the experiment seed for the fault RNG stream; far
 # from the topology (7919) and latency (104729) stream constants.
@@ -43,14 +53,14 @@ class ScenarioEngine:
         self,
         scenario: dict,
         *,
-        sim,
-        network,
-        nodes,
-        adapter,
-        scheduler=None,
-        shares=None,
+        sim: Simulator,
+        network: Network,
+        nodes: Sequence[GossipNode],
+        adapter: ProtocolAdapter,
+        scheduler: MiningScheduler | None = None,
+        shares: list[float] | None = None,
         seed: int = 0,
-        tracer=None,
+        tracer: Any | None = None,
     ) -> None:
         self.scenario = validate_scenario(scenario)
         self.sim = sim
@@ -122,14 +132,14 @@ class ScenarioEngine:
             self._loss(fault["rate"])
         self.faults_fired += 1
 
-    def _emit(self, event: str, **fields) -> None:
+    def _emit(self, event: str, **fields: Any) -> None:
         if self.tracer is not None:
             self.tracer.emit(event, self.sim.now, **fields)
 
     # -- node lifecycle faults ----------------------------------------------
 
     def _resolve(self, node: int | str) -> int | None:
-        if node == "leader":
+        if isinstance(node, str):  # the spec admits only "leader"
             return self.adapter.current_leader(self.nodes)
         return node  # already an int, bounds-checked at construction
 

@@ -77,7 +77,9 @@ class ScenarioError(ValueError):
     """Raised when a scenario spec is malformed or cannot be applied."""
 
 
-def _require_number(fault: dict, key: str, index: int, minimum: float = 0.0):
+def _require_number(
+    fault: dict, key: str, index: int, minimum: float = 0.0
+) -> float:
     value = fault.get(key)
     if not isinstance(value, (int, float)) or isinstance(value, bool):
         raise ScenarioError(f"fault #{index}: {key!r} must be a number")

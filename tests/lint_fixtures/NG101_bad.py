@@ -1,0 +1,4 @@
+import random
+
+def jitter() -> float:
+    return random.random()

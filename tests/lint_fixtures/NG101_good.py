@@ -1,0 +1,4 @@
+import random
+
+def jitter(rng: random.Random) -> float:
+    return rng.random()

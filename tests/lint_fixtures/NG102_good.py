@@ -1,0 +1,4 @@
+import random
+
+def make_rng(seed: int) -> random.Random:
+    return random.Random(seed * 7919 + 13)

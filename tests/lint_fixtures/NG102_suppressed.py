@@ -1,0 +1,4 @@
+import random
+
+# repro: allow[NG102]
+rng = random.Random()

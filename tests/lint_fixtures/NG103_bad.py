@@ -1,0 +1,4 @@
+import numpy as np
+
+def noise() -> float:
+    return float(np.random.random())

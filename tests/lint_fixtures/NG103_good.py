@@ -1,0 +1,4 @@
+import random
+
+def noise(rng: random.Random) -> float:
+    return rng.random()

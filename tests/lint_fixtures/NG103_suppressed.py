@@ -1,0 +1,5 @@
+import numpy as np
+
+def noise() -> float:
+    # repro: allow[NG103]
+    return float(np.random.random())

@@ -1,0 +1,4 @@
+import os
+
+def session_token() -> bytes:
+    return os.urandom(16)

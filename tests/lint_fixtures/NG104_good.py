@@ -1,0 +1,5 @@
+# repro-lint: module=repro.crypto.entropy
+import os
+
+def keygen_entropy() -> bytes:
+    return os.urandom(32)

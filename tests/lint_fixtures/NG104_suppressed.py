@@ -1,0 +1,5 @@
+import os
+
+def session_token() -> bytes:
+    # repro: allow[NG104]
+    return os.urandom(16)

@@ -1,0 +1,4 @@
+import time
+
+def measure() -> float:
+    return time.perf_counter()

@@ -1,0 +1,4 @@
+from repro.clock import wall_clock
+
+def measure() -> float:
+    return wall_clock()

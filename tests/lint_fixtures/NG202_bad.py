@@ -1,0 +1,4 @@
+import os
+
+def block_rate() -> float:
+    return float(os.environ.get("BLOCK_RATE", "0.1"))

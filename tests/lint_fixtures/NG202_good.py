@@ -1,0 +1,5 @@
+# repro-lint: module=repro.experiments.parallel
+import os
+
+def resolve_jobs() -> int:
+    return int(os.environ.get("REPRO_JOBS", "0")) or 1

@@ -1,0 +1,5 @@
+import os
+
+def block_rate() -> float:
+    # repro: allow[NG202]
+    return float(os.environ.get("BLOCK_RATE", "0.1"))

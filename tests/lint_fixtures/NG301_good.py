@@ -1,0 +1,3 @@
+def flood(network, peers: set[int], message) -> None:
+    for peer in sorted(peers):
+        network.send(0, peer, message)

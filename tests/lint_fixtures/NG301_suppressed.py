@@ -1,0 +1,4 @@
+def flood(network, peers: set[int], message) -> None:
+    # repro: allow[NG301]
+    for peer in peers:
+        network.send(0, peer, message)

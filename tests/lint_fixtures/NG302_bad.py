@@ -1,0 +1,2 @@
+def order_tips(tips: list) -> list:
+    return sorted(tips, key=id)

@@ -1,0 +1,3 @@
+def order_tips(tips: list) -> list:
+    # repro: allow[NG302]
+    return sorted(tips, key=id)

@@ -1,0 +1,5 @@
+# repro-lint: module=repro.core.node_ext
+from repro.experiments.config import ExperimentConfig
+
+def default_config() -> ExperimentConfig:
+    return ExperimentConfig()

@@ -1,0 +1,5 @@
+# repro-lint: module=repro.experiments.custom
+from repro.core.params import NGParams
+
+def params() -> NGParams:
+    return NGParams()

@@ -1,0 +1,6 @@
+# repro-lint: module=repro.core.node_ext
+# repro: allow[NG401]
+from repro.experiments.config import ExperimentConfig
+
+def default_config() -> ExperimentConfig:
+    return ExperimentConfig()

@@ -1,0 +1,4 @@
+from repro.protocols import BitcoinNGAdapter
+
+def build(config, sim, network, log, shares):
+    return BitcoinNGAdapter().build_nodes(config, sim, network, log, shares)

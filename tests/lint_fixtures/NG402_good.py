@@ -1,0 +1,4 @@
+from repro.protocols import get_adapter
+
+def build(config, sim, network, log, shares):
+    return get_adapter("bitcoin-ng").build_nodes(config, sim, network, log, shares)

@@ -1,0 +1,5 @@
+# repro: allow[NG402]
+from repro.protocols import BitcoinNGAdapter
+
+def build(config, sim, network, log, shares):
+    return BitcoinNGAdapter().build_nodes(config, sim, network, log, shares)

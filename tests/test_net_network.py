@@ -212,3 +212,53 @@ def test_key_block_sized_message_overtakes_bulk_transfer():
     assert kinds_in_order == ["key-block", "micro-body"]
     key_arrival = sinks[1].received[0][2]
     assert key_arrival < 0.5
+
+
+# -- determinism regression (repro lint NG301 fix) ---------------------------
+
+
+def test_link_latencies_independent_of_edge_insertion_order():
+    """Latency assignment is pinned to sorted edge order, not set layout.
+
+    Links used to be built by iterating ``topology.edges`` — a set of
+    frozensets — while drawing one latency per edge, so the latency a
+    pair received depended on hash/insertion order (flagged by
+    ``repro lint`` rule NG301).  The fix draws in sorted edge order:
+    two topologies with the same edge *set* but different insertion
+    histories must now produce bit-identical link latencies.
+    """
+    import random
+
+    from repro.net.latency import default_histogram
+
+    edges = [(0, 1), (0, 2), (1, 3), (2, 3), (1, 2), (0, 3), (2, 4), (3, 4)]
+    forward = Topology(5)
+    for a, b in edges:
+        forward.add_edge(a, b)
+    backward = Topology(5)
+    for a, b in reversed(edges):
+        backward.add_edge(b, a)
+    assert forward.edges == backward.edges
+
+    histogram = default_histogram(seed=3)
+
+    def latencies(topology):
+        net = Network(
+            Simulator(seed=0),
+            topology,
+            histogram,
+            latency_rng=random.Random(42),
+        )
+        return {pair: net.link(*pair).latency for pair in net._links}
+
+    assert latencies(forward) == latencies(backward)
+
+    # Pin the assignment rule itself: the k-th sorted edge gets the
+    # k-th histogram draw, symmetrically in both directions.
+    rng = random.Random(42)
+    expected = {}
+    for a, b in sorted(tuple(sorted(e)) for e in forward.edges):
+        latency = histogram.sample(rng)
+        expected[(a, b)] = latency
+        expected[(b, a)] = latency
+    assert latencies(forward) == expected
