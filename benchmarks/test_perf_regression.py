@@ -273,6 +273,77 @@ def test_obs_disabled_overhead():
     )
 
 
+def test_sanitizer_disabled_overhead():
+    """A run without ``--check`` pays nothing for the sanitizer.
+
+    The disabled path is one ``None``-check of the simulator's probe
+    slot per event — ``run_experiment`` installs no probe unless
+    ``config.check`` is on.  Interleaved A/B rounds of the 200k-event
+    pump, bare versus explicitly-disabled (``set_probe(None)``), must
+    stay within the same 5% bound the observability layer honors; the
+    bound trips if a default probe or extra per-event work ever lands
+    in the disabled path.  The checked-run wall numbers are recorded
+    unasserted, as the documented cost of turning checking on.
+    """
+
+    def one_round(install_probe: bool) -> float:
+        sim = Simulator(seed=0)
+        if install_probe:
+            sim.set_probe(None)  # the disabled state, made explicit
+        count = 0
+
+        def tick() -> None:
+            nonlocal count
+            count += 1
+            if count < PUMP_EVENTS:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(0.0, tick)
+        start = time.perf_counter()
+        sim.run()
+        return PUMP_EVENTS / (time.perf_counter() - start)
+
+    bare_rate = 0.0
+    disabled_rate = 0.0
+    for _ in range(3):
+        bare_rate = max(bare_rate, one_round(install_probe=False))
+        disabled_rate = max(disabled_rate, one_round(install_probe=True))
+
+    # Informative (unasserted): full checked-mode cost on a real run.
+    check_config = SWEEP_BASE.with_(seed=0)
+    start = time.perf_counter()
+    run_experiment(check_config)
+    off_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    checked_result, _ = run_experiment(
+        check_config.with_(check=True, check_stride=64)
+    )
+    on_wall = time.perf_counter() - start
+    assert checked_result.invariant_violations == 0
+
+    ratio = disabled_rate / bare_rate
+    update_bench(
+        BENCH_JSON,
+        "sanitizer",
+        {
+            "pump_events": PUMP_EVENTS,
+            "bare_events_per_sec": round(bare_rate, 1),
+            "disabled_check_events_per_sec": round(disabled_rate, 1),
+            "disabled_over_bare_ratio": round(ratio, 4),
+            "checked_run_wall_seconds": round(on_wall, 3),
+            "unchecked_run_wall_seconds": round(off_wall, 3),
+            "checked_over_unchecked_wall_ratio": round(
+                on_wall / max(off_wall, 1e-9), 3
+            ),
+            "checked_run_violations": checked_result.invariant_violations,
+        },
+    )
+    assert ratio >= 0.95, (
+        f"disabled sanitizer cost {1 - ratio:.1%} of dispatch rate "
+        f"(bound: 5%)"
+    )
+
+
 def test_scenario_disabled_overhead():
     """A run without a scenario pays nothing for the fault engine.
 
@@ -365,6 +436,7 @@ def test_bench_json_is_valid():
         "single_run",
         "sweep_dispatch",
         "obs_overhead",
+        "sanitizer",
         "scenario_overhead",
         "lint",
         "baseline",

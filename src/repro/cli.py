@@ -14,11 +14,15 @@ Examples::
     python -m repro trace toptalkers out/ --top 10
     python -m repro lint src/ --json
     python -m repro lint --explain NG301
+    python -m repro run --protocol bitcoin-ng --check
+    python -m repro check diverge --protocol bitcoin-ng --nodes 30
+    python -m repro check record --out run.digests.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .experiments import (
@@ -43,11 +47,24 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _check_requested(args: argparse.Namespace) -> bool:
+    """Checked mode: the --check flag, or REPRO_CHECK=1 in the environment.
+
+    This is the single place the environment toggle is read (the CLI is
+    a config entry point; see lint rule NG202) — it flows everywhere
+    else as ``config.check``.
+    """
+    if getattr(args, "check", False):
+        return True
+    return os.environ.get("REPRO_CHECK", "") not in ("", "0")
+
+
 def _base_config(args: argparse.Namespace) -> ExperimentConfig:
     return ExperimentConfig(
         n_nodes=args.nodes,
         seed=args.seed,
         target_blocks=args.blocks,
+        check=_check_requested(args),
     )
 
 
@@ -108,6 +125,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if config.scenario is not None:
             payload["scenario"] = config.scenario["name"]
             payload["faults_injected"] = result.faults_injected
+        if config.check:
+            payload["invariant_violations"] = result.invariant_violations
+            payload["violations"] = [
+                violation.to_dict() for violation in result.violations
+            ]
         if result.obs is not None:
             payload["obs"] = result.obs
         print(json.dumps(payload, indent=2, sort_keys=True))
@@ -122,6 +144,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if config.scenario is not None:
             print(f"scenario:                {config.scenario['name']}")
             print(f"faults injected:         {result.faults_injected}")
+        if config.check:
+            print(f"invariant violations:    {result.invariant_violations}")
+            for violation in result.violations:
+                print(f"  {violation.format()}")
         if result.obs is not None:
             print(f"obs trace:               {result.obs.get('trace_path')}")
             print(f"obs records:             {result.obs.get('trace_records')}")
@@ -131,6 +157,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         save_trace(log, args.save_trace)
         if not args.json:
             print(f"trace saved:             {args.save_trace}")
+    if config.check and result.invariant_violations:
+        return 1
     return 0
 
 
@@ -158,6 +186,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         for metric in args.chart:
             print()
             print(sweep_chart(sweep, metric))
+    if base.check:
+        total = sum(
+            result.invariant_violations
+            for point in sweep.points
+            for result in point.results
+        )
+        print(f"\ninvariant violations across all cells: {total}")
+        if total:
+            return 1
     return 0
 
 
@@ -254,6 +291,13 @@ def build_parser() -> argparse.ArgumentParser:
         "fault events land in the --obs trace",
     )
     run_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="checked mode: sweep protocol invariants (repro.sanitizer) "
+        "during the run; violations are reported and exit nonzero "
+        "(also enabled by REPRO_CHECK=1)",
+    )
+    run_parser.add_argument(
         "--json",
         action="store_true",
         help="machine-readable output: all metrics plus events/sec "
@@ -302,6 +346,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         default=None,
         help="inject the same fault scenario into every sweep cell",
+    )
+    sweep_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="checked mode in every sweep cell (also REPRO_CHECK=1)",
     )
     sweep_parser.set_defaults(handler=_cmd_sweep)
 
@@ -353,6 +402,10 @@ def build_parser() -> argparse.ArgumentParser:
     from .lint.cli import add_lint_parser
 
     add_lint_parser(commands)
+
+    from .sanitizer.cli import add_check_parser
+
+    add_check_parser(commands)
     return parser
 
 

@@ -83,6 +83,15 @@ class ExperimentConfig:
     # Sampler period in virtual seconds (None → ~100 points per run).
     obs_sample_period: float | None = None
 
+    # Checked mode (repro.sanitizer).  When True, the run installs the
+    # protocol's invariant checkers (via the adapter registry) and
+    # sweeps node state every ``check_stride`` simulator events.
+    # Checked runs are bit-identical to unchecked runs — checkers only
+    # read state — and violations land on
+    # ``ExperimentResult.invariant_violations``.
+    check: bool = False
+    check_stride: int = 64
+
     # Fault injection (repro.scenarios): a validated, schema-versioned
     # scenario dict, or None for a bare run.  Stored normalized, so two
     # configs built from equivalent specs compare equal; ``None`` and
@@ -106,6 +115,8 @@ class ExperimentConfig:
             raise ValueError("sizes must be positive")
         if self.target_blocks < 1:
             raise ValueError("need at least one block")
+        if self.check_stride < 1:
+            raise ValueError("check_stride must be at least 1")
         if self.scenario is not None:
             from ..scenarios.spec import validate_scenario
 

@@ -64,6 +64,11 @@ class ExperimentResult:
     messages_delivered: int = 0
     # Faults the scenario engine actually fired (0 for bare runs).
     faults_injected: int = 0
+    # Invariant violations the sanitizer found (0 unless config.check).
+    # The count participates in equality and pickles through sweep
+    # workers; the full records ride along for local inspection only.
+    invariant_violations: int = 0
+    violations: tuple = field(default=(), compare=False, repr=False)
     # Wall-clock phases and the observability snapshot.  Excluded from
     # equality: wall time is machine noise, and the snapshot must not
     # break the parallel-equals-serial determinism guarantee.
@@ -104,21 +109,33 @@ def build_network(
 
 
 def run_experiment(
-    config: ExperimentConfig, obs=None
+    config: ExperimentConfig, obs=None, sanitizer=None
 ) -> tuple[ExperimentResult, ObservationLog]:
     """Run one full experiment and compute all metrics.
 
     ``obs`` overrides the observability wiring (tests inject in-memory
     sinks this way); by default it is built from the config —
     :data:`~repro.obs.facade.NULL_OBS` unless ``config.obs_dir`` is
-    set.  Setup (topology, links, nodes) and simulation are timed
-    separately so event-rate figures cover only the simulate phase.
+    set.  ``sanitizer`` overrides the checked-mode wiring the same way:
+    pass a prepared :class:`~repro.sanitizer.runtime.SanitizerRuntime`
+    (digest recording does this), or leave it to be built from the
+    protocol adapter's checker set when ``config.check`` is on.  Setup
+    (topology, links, nodes) and simulation are timed separately so
+    event-rate figures cover only the simulate phase.
     """
     setup_started = wall_clock()
     adapter = get_adapter(config.protocol)
     sim = Simulator(seed=config.seed)
     if obs is None:
         obs = Observability.from_config(config)
+    if sanitizer is None and config.check:
+        from ..sanitizer.runtime import SanitizerRuntime
+
+        sanitizer = SanitizerRuntime(
+            adapter.invariant_checkers(),
+            stride=config.check_stride,
+            tracer=obs.tracer,
+        )
     network = build_network(config, sim, obs=obs)
     log = ObservationLog(config.n_nodes)
     shares = exponential_shares(config.n_nodes, config.power_exponent)
@@ -134,6 +151,8 @@ def run_experiment(
     if config.scenario is not None:
         meta["scenario"] = config.scenario.get("name", "unnamed")
     obs.install(sim, network, nodes, horizon, meta=meta)
+    if sanitizer is not None:
+        sanitizer.install(sim, nodes)
     engine = None
     if config.scenario is not None:
         from ..scenarios.engine import ScenarioEngine
@@ -157,6 +176,8 @@ def run_experiment(
     scheduler.stop()
     sim.run(until=horizon)
     wall_simulate = wall_clock() - simulate_started
+    if sanitizer is not None:
+        sanitizer.finalize()
     log.finalize(horizon)
     snapshot = obs.finalize(network=network, end_time=horizon)
     result = ExperimentResult(
@@ -173,6 +194,12 @@ def run_experiment(
         events_processed=sim.events_processed,
         messages_delivered=network.messages_delivered,
         faults_injected=engine.faults_fired if engine is not None else 0,
+        invariant_violations=(
+            len(sanitizer.violations) if sanitizer is not None else 0
+        ),
+        violations=(
+            tuple(sanitizer.violations) if sanitizer is not None else ()
+        ),
         wall_setup_seconds=wall_setup,
         wall_simulate_seconds=wall_simulate,
         obs=snapshot,

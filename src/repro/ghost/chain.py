@@ -28,6 +28,11 @@ class GhostRecord:
     own_work: int
     subtree_work: int
     arrival_time: float
+    # Chain work along the path from genesis.  GHOST chooses tips by
+    # subtree work, not this — it exists so protocol-agnostic tooling
+    # (state digests, invariant checkers) can read one weight field
+    # across every tree implementation.
+    cumulative_work: int = 0
     children: list[bytes] = field(default_factory=list)
 
     @property
@@ -69,6 +74,10 @@ class GhostTree:
     @property
     def tip(self) -> bytes:
         return self._tip
+
+    @property
+    def tip_record(self) -> GhostRecord:
+        return self._records[self._tip]
 
     def record(self, block_hash: bytes) -> GhostRecord:
         return self._records[block_hash]
@@ -144,6 +153,7 @@ class GhostTree:
             own_work=work,
             subtree_work=work,
             arrival_time=arrival_time,
+            cumulative_work=parent.cumulative_work + work,
         )
         self._records[block.hash] = record
         parent.children.append(block.hash)

@@ -38,6 +38,24 @@ class Mempool:
     def get(self, txid: bytes) -> Transaction | None:
         return self._entries.get(txid)
 
+    # -- read-only views (sanitizer cross-checks, state digests) ---------
+
+    def transactions(self) -> list[Transaction]:
+        """Pool entries in insertion order (a copy)."""
+        return list(self._entries.values())
+
+    def txids(self) -> list[bytes]:
+        """Pool transaction ids in insertion order (a copy)."""
+        return list(self._entries)
+
+    def spend_index(self) -> dict[OutPoint, bytes]:
+        """Copy of the outpoint → spending-txid conflict map."""
+        return dict(self._spends)
+
+    def fee_index(self) -> dict[bytes, int]:
+        """Copy of the txid → fee map."""
+        return dict(self._fees)
+
     def add(self, tx: Transaction, fee: int = 0) -> None:
         """Insert a transaction; rejects duplicates and in-pool conflicts."""
         if tx.txid in self._entries:

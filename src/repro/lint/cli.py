@@ -20,6 +20,15 @@ from .rules import RULES
 #: Where the bad/good example fixtures live, relative to the repo root.
 FIXTURE_DIR = Path("tests") / "lint_fixtures"
 
+#: Human names for the rule families, keyed by code prefix.
+FAMILIES = {
+    "NG1": "rng",
+    "NG2": "clock/env",
+    "NG3": "ordering",
+    "NG4": "layering",
+    "NG5": "arithmetic",
+}
+
 
 def add_lint_parser(commands: argparse._SubParsersAction) -> None:
     parser = commands.add_parser(
@@ -59,6 +68,23 @@ def add_lint_parser(commands: argparse._SubParsersAction) -> None:
         metavar="CODE",
         default=None,
         help="print a rule's rationale and bad/good example pair",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODE[,CODE]",
+        default=None,
+        help="run only these rule codes",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="CODE[,CODE]",
+        default=None,
+        help="run every rule except these codes",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table (code, family, rationale) and exit",
     )
     parser.set_defaults(handler=cmd_lint)
 
@@ -107,6 +133,46 @@ def _explain(code: str) -> int:
     return 0
 
 
+def _first_sentence(text: str, width: int = 68) -> str:
+    """The leading sentence of a rationale, clipped for table display."""
+    sentence = text.split(". ")[0].rstrip(".") + "."
+    if len(sentence) > width:
+        sentence = sentence[: width - 1].rstrip() + "…"
+    return sentence
+
+
+def _list_rules() -> int:
+    print(f"{'code':<7} {'family':<11} {'name':<30} rationale")
+    for code in sorted(RULES):
+        rule = RULES[code]
+        family = FAMILIES.get(code[:3], "?")
+        print(
+            f"{rule.code:<7} {family:<11} {rule.name:<30} "
+            f"{_first_sentence(rule.rationale)}"
+        )
+    return 0
+
+
+def _resolve_codes(args: argparse.Namespace) -> list[str] | None:
+    """The rule subset --select/--ignore ask for (None = every rule).
+
+    Raises KeyError on unknown codes, same as the engine, so both
+    flags share one exit-2 path in :func:`cmd_lint`.
+    """
+    if args.select and args.ignore:
+        raise ValueError("--select and --ignore are mutually exclusive")
+    if not args.select and not args.ignore:
+        return None
+    raw = args.select or args.ignore
+    codes = {code.strip() for code in raw.split(",") if code.strip()}
+    unknown = codes - set(RULES)
+    if unknown:
+        raise KeyError(f"unknown rule codes: {sorted(unknown)}")
+    if args.select:
+        return sorted(codes)
+    return sorted(set(RULES) - codes)
+
+
 def _print_text(report: LintReport, baseline_path: str | None) -> None:
     for finding in report.findings:
         print(finding.format())
@@ -131,8 +197,17 @@ def _print_text(report: LintReport, baseline_path: str | None) -> None:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        return _list_rules()
     if args.explain is not None:
         return _explain(args.explain)
+
+    try:
+        codes = _resolve_codes(args)
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
 
     baseline: dict[str, str] | None = None
     if args.baseline and not args.write_baseline:
@@ -146,7 +221,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
                 return 2
 
     try:
-        report = lint_paths(args.paths, baseline=baseline)
+        report = lint_paths(args.paths, baseline=baseline, codes=codes)
     except (FileNotFoundError, SyntaxError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

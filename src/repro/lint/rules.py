@@ -24,6 +24,11 @@ Rule families
 * **NG4xx — protocol-layer boundaries.**  Consensus layers must not
   import the experiment harness above them, and protocol construction
   must go through the :mod:`repro.protocols` registry.
+* **NG5xx — monetary & consensus arithmetic.**  Satoshi amounts are
+  integers end to end: a ``COIN``-derived value meeting ``/`` or a
+  float literal grows sub-satoshi remainders that break value
+  conservation, and ``==``/``!=`` against float literals inside a
+  consensus layer turns rounding error into a validation verdict.
 """
 
 from __future__ import annotations
@@ -767,4 +772,130 @@ class AdapterRegistryBypass(Rule):
                     "direct access to the private adapter table "
                     "`_ADAPTERS` — use get_adapter()/register_adapter()",
                 )
+        self.generic_visit(node)
+
+
+# -- NG5xx: monetary & consensus arithmetic ----------------------------------
+
+
+def _mentions_coin(node: ast.expr) -> bool:
+    """Whether the expression references the satoshi base unit COIN."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id == "COIN":
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr == "COIN":
+            return True
+    return False
+
+
+def _has_float_literal(node: ast.expr) -> bool:
+    """Whether the expression contains a float constant anywhere."""
+    return any(
+        isinstance(sub, ast.Constant) and type(sub.value) is float
+        for sub in ast.walk(node)
+    )
+
+
+@register
+class FloatSatoshiArithmetic(Rule):
+    code = "NG501"
+    name = "float-satoshi-arithmetic"
+    rationale = (
+        "Monetary amounts are integer satoshis end to end; the moment a "
+        "COIN-derived value meets `/` or a float literal, sub-satoshi "
+        "remainders appear and value conservation (a coinbase must mint "
+        "exactly reward + fees) fails on rounding, not on fraud. Fee "
+        "shares are computed in integer arithmetic — `split_fee()` "
+        "floors one side's cut and hands the remainder to the other, so "
+        "the parts always sum to the whole."
+    )
+    bad_example = (
+        "from repro.ledger.transactions import COIN\n"
+        "\n"
+        "def leader_cut(fee_btc: float) -> int:\n"
+        "    return int(fee_btc * COIN * 0.4)\n"
+    )
+    good_example = (
+        "from repro.ledger.transactions import COIN\n"
+        "\n"
+        "DUST_LIMIT = COIN // 1000\n"
+        "\n"
+        "def leader_cut(fee: int) -> int:\n"
+        "    return fee * 40 // 100\n"
+    )
+    allowed_modules = ("repro.core.params", "repro.stats")
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        left_coin = _mentions_coin(node.left)
+        right_coin = _mentions_coin(node.right)
+        if left_coin or right_coin:
+            if isinstance(node.op, ast.Div):
+                self.report(
+                    node,
+                    "true division on a COIN-derived amount yields a "
+                    "float — satoshi math uses `//` (or split_fee for "
+                    "shares)",
+                )
+                return
+            other = node.right if left_coin else node.left
+            if _has_float_literal(other):
+                self.report(
+                    node,
+                    "float literal mixed into COIN-derived satoshi "
+                    "arithmetic — keep amounts in integer satoshis",
+                )
+                return
+        self.generic_visit(node)
+
+
+@register
+class FloatEqualityConsensus(Rule):
+    code = "NG502"
+    name = "float-equality-consensus"
+    rationale = (
+        "`==`/`!=` against a float literal inside a consensus layer "
+        "turns accumulated rounding error into a validation verdict: "
+        "two platforms (or one refactor that reassociates an "
+        "expression) disagree about a block's validity. Consensus "
+        "comparisons use inequalities with an explicit epsilon — as the "
+        "microblock-interval check does — or move to an integer domain."
+    )
+    bad_example = (
+        "# repro-lint: module=repro.core.timecheck\n"
+        "\n"
+        "def interval_elapsed(gap: float) -> bool:\n"
+        "    return gap == 10.0\n"
+    )
+    good_example = (
+        "# repro-lint: module=repro.core.timecheck\n"
+        "\n"
+        "TIME_EPSILON = 1e-9\n"
+        "\n"
+        "def interval_elapsed(gap: float, interval: float) -> bool:\n"
+        "    return gap >= interval - TIME_EPSILON\n"
+    )
+
+    @classmethod
+    def applies_to(cls, module: str) -> bool:
+        # Inverted policy: this rule applies *only* inside the consensus
+        # layers — harness, metrics, and analysis code compare floats
+        # legitimately (assertions, plotting thresholds, test bounds).
+        return any(
+            module == layer or module.startswith(layer + ".")
+            for layer in PROTOCOL_LAYERS
+        )
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for index, op in enumerate(node.ops):
+            if isinstance(op, (ast.Eq, ast.NotEq)) and (
+                _has_float_literal(operands[index])
+                or _has_float_literal(operands[index + 1])
+            ):
+                self.report(
+                    node,
+                    "float equality in a consensus path — compare with "
+                    "an epsilon bound or move to an integer domain",
+                )
+                return
         self.generic_visit(node)

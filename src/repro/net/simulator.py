@@ -26,6 +26,7 @@ class Simulator:
         self._now = 0.0
         self.rng = random.Random(seed)
         self._events_processed = 0
+        self._probe: Callable[[], None] | None = None
 
     @property
     def now(self) -> float:
@@ -35,6 +36,18 @@ class Simulator:
     @property
     def events_processed(self) -> int:
         return self._events_processed
+
+    def set_probe(self, probe: Callable[[], None] | None) -> None:
+        """Install (or clear) an after-each-event observation hook.
+
+        The probe runs after every dispatched event's callback.  It must
+        be a pure observer: scheduling events, drawing from ``rng``, or
+        mutating node state from a probe breaks the guarantee that
+        probed runs are bit-identical to bare runs.  The disabled path
+        costs one local load and ``None`` check per event (bounded in
+        ``benchmarks/test_perf_regression.py``).
+        """
+        self._probe = probe
 
     def schedule(
         self, delay: float, callback: Callable[..., Any], *args: Any
@@ -82,6 +95,7 @@ class Simulator:
         """
         heap = self._queue._heap
         heappop = heapq.heappop
+        probe = self._probe
         processed = 0
         try:
             while heap and (max_events is None or processed < max_events):
@@ -100,6 +114,8 @@ class Simulator:
                 else:
                     event.callback()
                 processed += 1
+                if probe is not None:
+                    probe()
         finally:
             self._events_processed += processed
 

@@ -9,32 +9,36 @@ quarter the bytes of the full digest.
 
 Record vocabulary (schema version 1):
 
-======================  ====================================================
-``trace_start``         run metadata (protocol, nodes, seed)
-``send``                a message booked onto a link (src, dst, kind, size,
-                        qd = sender-side queueing delay, arr = arrival time)
-``drop``                a send discarded by churn or a partition
-``deliver``             a message handed to the destination handler
-``gossip_retry``        a getdata timed out and was retried elsewhere
-``obj_reject``          a delivered object failed validation (veto)
-``block_gen``           a block was created (hash, kind, miner, size, n_tx)
-``block_arrival``       a node first learned of a block
-``tip_change``          a node's main-chain tip moved
-``epoch_start``         an NG node became leader (its key block heads the
-                        chain)
-``epoch_end``           an NG node observed loss of its leadership
-``sample_links``        periodic: busy links, busy fraction, queued bytes
-``sample_mempool``      periodic: per-node mempool depth summary
-``sample_forks``        periodic: distinct tips across nodes
-``node_crash``          a scenario took a node offline (node, down_for?)
-``node_restart``        a crashed node came back online and resynced
-``partition``           a scenario split the network (groups, cut links)
-``heal``                the active partition was removed (restored links)
-``link_degrade``        link latency/bandwidth multipliers applied
-``link_restore``        degraded links reset to pristine parameters
-``msg_loss``            the probabilistic send-loss rate changed
-``trace_end``           final counters, closes the file
-======================  ====================================================
+=======================  ===================================================
+``trace_start``          run metadata (protocol, nodes, seed)
+``send``                 a message booked onto a link (src, dst, kind, size,
+                         qd = sender-side queueing delay, arr = arrival time)
+``drop``                 a send discarded by churn or a partition
+``deliver``              a message handed to the destination handler
+``gossip_retry``         a getdata timed out and was retried elsewhere
+``obj_reject``           a delivered object failed validation (veto)
+``block_gen``            a block was created (hash, kind, miner, size, n_tx)
+``block_arrival``        a node first learned of a block
+``tip_change``           a node's main-chain tip moved
+``epoch_start``          an NG node became leader (its key block heads the
+                         chain)
+``epoch_end``            an NG node observed loss of its leadership
+``sample_links``         periodic: busy links, busy fraction, queued bytes
+``sample_mempool``       periodic: per-node mempool depth summary
+``sample_forks``         periodic: distinct tips across nodes
+``node_crash``           a scenario took a node offline (node, down_for?)
+``node_restart``         a crashed node came back online and resynced
+``partition``            a scenario split the network (groups, cut links)
+``heal``                 the active partition was removed (restored links)
+``link_degrade``         link latency/bandwidth multipliers applied
+``link_restore``         degraded links reset to pristine parameters
+``msg_loss``             the probabilistic send-loss rate changed
+``invariant_violation``  a sanitizer checker fired (code, name, node,
+                         message, snapshot) — checked (``--check``) runs only
+``state_digest``         a sanitizer digest snapshot was captured (index =
+                         events processed, nodes covered)
+``trace_end``            final counters, closes the file
+=======================  ===================================================
 
 The schema is append-only: new record types or fields may appear within
 a version; removals or meaning changes bump ``SCHEMA_VERSION``.

@@ -40,6 +40,7 @@ if TYPE_CHECKING:
     from .metrics import ObservationLog
     from .net.network import Network
     from .net.simulator import Simulator
+    from .sanitizer.checkers import InvariantChecker
 
 
 class Protocol(enum.Enum):
@@ -89,6 +90,18 @@ class ProtocolAdapter(abc.ABC):
         for leaderless protocols; scenario faults addressed to
         ``"leader"`` are then skipped."""
         return None
+
+    def invariant_checkers(self) -> list[InvariantChecker]:
+        """Fresh checker instances for ``--check`` runs of this protocol.
+
+        The default is the protocol-agnostic subset (chain weight, tip
+        monotonicity, mempool/UTXO consistency, coinbase maturity);
+        adapters whose protocols carry richer invariants override this
+        (Bitcoin-NG adds the fee-split, microblock, and poison rules).
+        """
+        from .sanitizer.checkers import chain_checkers
+
+        return chain_checkers()
 
     def on_crash(
         self, node: GossipNode, *, sim: Simulator, network: Network
@@ -203,6 +216,14 @@ class GhostAdapter(ProtocolAdapter):
         )
         return nodes, scheduler
 
+    def invariant_checkers(self) -> list[InvariantChecker]:
+        # Heaviest-subtree fork choice may adopt a tip whose *chain*
+        # work is lower than the old tip's, so the tip-monotonicity
+        # checker from the default subset does not apply.
+        from .sanitizer.checkers import ghost_checkers
+
+        return ghost_checkers()
+
 
 class BitcoinNGAdapter(ProtocolAdapter):
     """Bitcoin-NG: key-block leader election plus microblock streams."""
@@ -282,6 +303,11 @@ class BitcoinNGAdapter(ProtocolAdapter):
         # (Section 4).  Abdicating stops the generation timer loop.
         if isinstance(node, NGNode):
             node.abdicate()
+
+    def invariant_checkers(self) -> list[InvariantChecker]:
+        from .sanitizer.checkers import ng_checkers
+
+        return ng_checkers()
 
 
 # -- registry ----------------------------------------------------------------

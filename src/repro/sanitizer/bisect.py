@@ -1,0 +1,106 @@
+"""Binary search for the first divergent event between two runs.
+
+Two executions of the same config and seed should produce identical
+digest streams.  When they do not, :func:`find_divergence` locates the
+first snapshot where they differ and names the first node whose digest
+broke — turning "determinism test failed" into "event ~1792, node 7,
+mempool fingerprint differs".
+
+The search assumes *monotone divergence*: once two same-seed runs
+diverge, their event streams never re-converge (every later event is
+scheduled relative to the already-divergent state).  That holds for the
+discrete-event simulator by construction; ``tests/test_sanitizer.py``
+cross-checks the bisection against a linear scan anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .digests import DigestSnapshot, NodeDigest
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first point two digest streams disagree."""
+
+    index: int  #: snapshot index within the streams
+    event_index: int  #: simulator event count at that snapshot (run A)
+    time: float  #: virtual time at that snapshot (run A)
+    node: int  #: first node whose digest differs (-1: stream length only)
+    a: NodeDigest | None  #: run A's digest for that node
+    b: NodeDigest | None  #: run B's digest for that node
+
+    def format(self) -> str:
+        if self.node < 0:
+            return (
+                f"streams share an identical prefix of {self.index} "
+                "snapshots but have different lengths"
+            )
+        lines = [
+            f"first divergence at snapshot #{self.index} "
+            f"(event ~{self.event_index}, t={self.time:.3f}), node {self.node}:",
+        ]
+        if self.a is not None:
+            lines.append(f"  run A: {self.a.format()}")
+        if self.b is not None:
+            lines.append(f"  run B: {self.b.format()}")
+        return "\n".join(lines)
+
+
+def _first_differing_node(
+    a: DigestSnapshot, b: DigestSnapshot
+) -> tuple[int, NodeDigest | None, NodeDigest | None]:
+    """The lowest-id node whose digests differ between two snapshots."""
+    b_by_node = {digest.node: digest for digest in b.digests}
+    for digest in a.digests:
+        other = b_by_node.get(digest.node)
+        if other != digest:
+            return digest.node, digest, other
+    # Same per-node digests but unequal snapshots: metadata differs
+    # (event index / time), or B has extra nodes.
+    a_nodes = {digest.node for digest in a.digests}
+    for digest in b.digests:
+        if digest.node not in a_nodes:
+            return digest.node, None, digest
+    return -1, None, None
+
+
+def find_divergence(
+    a: Sequence[DigestSnapshot], b: Sequence[DigestSnapshot]
+) -> Divergence | None:
+    """First snapshot where the streams differ, or None if identical.
+
+    Binary-searches the common prefix (monotone-divergence assumption);
+    a pure length mismatch after an identical prefix is reported with
+    ``node = -1``.
+    """
+    common = min(len(a), len(b))
+    lo, hi = 0, common
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if a[mid] != b[mid]:
+            hi = mid
+        else:
+            lo = mid + 1
+    if lo == common:
+        if len(a) == len(b):
+            return None
+        return Divergence(
+            index=common,
+            event_index=a[common].index if common < len(a) else b[common].index,
+            time=a[common].time if common < len(a) else b[common].time,
+            node=-1,
+            a=None,
+            b=None,
+        )
+    node, digest_a, digest_b = _first_differing_node(a[lo], b[lo])
+    return Divergence(
+        index=lo,
+        event_index=a[lo].index,
+        time=a[lo].time,
+        node=node,
+        a=digest_a,
+        b=digest_b,
+    )

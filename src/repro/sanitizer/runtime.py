@@ -1,0 +1,152 @@
+"""The sanitizer runtime: event-boundary sweeps over live node state.
+
+:class:`SanitizerRuntime` installs itself as the simulator's probe (one
+``None``-check per event when nothing is installed) and, every
+``stride`` processed events, sweeps each node: block checkers run once
+per block the node newly adopted onto its main chain (oldest first),
+state checkers run against the current mempool/UTXO/chain.  Violations
+are collected (deduplicated per ``(code, node)`` so one broken invariant
+does not flood the report) and, when a tracer is attached, emitted as
+schema-v1 ``invariant_violation`` trace events.
+
+With ``digest_stride > 0`` the runtime also captures a
+:class:`~repro.sanitizer.digests.DigestSnapshot` of every node on that
+stride — the raw material for ``repro check diverge``.
+
+Everything here is read-only with respect to simulation state: no
+events scheduled, no RNG draws, no node mutation.  That is the whole
+bit-identicality argument, and ``tests/test_determinism.py`` pins it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .checkers import InvariantChecker, chain_of
+from .digests import DigestSnapshot, node_digest
+from .violations import ViolationRecord
+
+
+class SanitizerRuntime:
+    """Runs invariant checkers and digest captures during a simulation."""
+
+    def __init__(
+        self,
+        checkers: Iterable[InvariantChecker],
+        *,
+        stride: int = 64,
+        tracer: object | None = None,
+        digest_stride: int = 0,
+    ) -> None:
+        self.checkers = list(checkers)
+        self.stride = max(1, int(stride))
+        self.tracer = tracer
+        self.digest_stride = max(0, int(digest_stride))
+        self.violations: list[ViolationRecord] = []
+        self.digests: list[DigestSnapshot] = []
+        self.sweeps = 0
+        self.events_seen = 0
+        self._sim: object | None = None
+        self._nodes: Sequence[object] = ()
+        self._node_ids: list[int] = []
+        self._seen_blocks: list[set[bytes]] = []
+        self._reported: set[tuple[str, int]] = set()
+        self._sweep_countdown = self.stride
+        self._digest_countdown = self.digest_stride
+
+    # -- lifecycle ------------------------------------------------------
+
+    def install(self, sim: object, nodes: Sequence[object]) -> None:
+        """Attach to a simulator and the nodes to sweep."""
+        self._sim = sim
+        self._nodes = list(nodes)
+        self._node_ids = [
+            getattr(node, "node_id", index)
+            for index, node in enumerate(self._nodes)
+        ]
+        self._seen_blocks = [set() for _ in self._nodes]
+        sim.set_probe(self._probe)  # type: ignore[attr-defined]
+
+    def finalize(self) -> None:
+        """Final sweep + digest, then detach from the simulator."""
+        if self._sim is None:
+            return
+        self._sweep()
+        if self.digest_stride > 0:
+            self._capture_digest()
+        self._sim.set_probe(None)  # type: ignore[attr-defined]
+        self._sim = None
+
+    # -- the probe ------------------------------------------------------
+
+    def _probe(self) -> None:
+        self.events_seen += 1
+        self._sweep_countdown -= 1
+        if self._sweep_countdown <= 0:
+            self._sweep_countdown = self.stride
+            self._sweep()
+        if self.digest_stride > 0:
+            self._digest_countdown -= 1
+            if self._digest_countdown <= 0:
+                self._digest_countdown = self.digest_stride
+                self._capture_digest()
+
+    # -- sweeping -------------------------------------------------------
+
+    def _sweep(self) -> None:
+        if not self.checkers or self._sim is None:
+            return
+        now = self._sim.now  # type: ignore[attr-defined]
+        self.sweeps += 1
+        for index, node in enumerate(self._nodes):
+            node_id = self._node_ids[index]
+            seen = self._seen_blocks[index]
+            chain = chain_of(node)
+            cursor = chain.tip_record  # type: ignore[attr-defined]
+            fresh = []
+            while cursor is not None and cursor.hash not in seen:
+                fresh.append(cursor)
+                cursor = chain.get(cursor.parent_hash)  # type: ignore[attr-defined]
+            for record in reversed(fresh):
+                seen.add(record.hash)
+                for checker in self.checkers:
+                    for violation in checker.check_block(
+                        node, node_id, record, now
+                    ):
+                        self._record(violation)
+            for checker in self.checkers:
+                for violation in checker.check_state(node, node_id, now):
+                    self._record(violation)
+
+    def _record(self, violation: ViolationRecord) -> None:
+        key = (violation.code, violation.node)
+        if key in self._reported:
+            return
+        self._reported.add(key)
+        self.violations.append(violation)
+        if self.tracer is not None:
+            self.tracer.emit(  # type: ignore[attr-defined]
+                "invariant_violation", violation.time, **violation.to_dict()
+            )
+
+    # -- digests --------------------------------------------------------
+
+    def _capture_digest(self) -> None:
+        if self._sim is None:
+            return
+        snapshot = DigestSnapshot(
+            index=self.events_seen,
+            time=self._sim.now,  # type: ignore[attr-defined]
+            digests=tuple(
+                node_digest(node, self._node_ids[index])
+                for index, node in enumerate(self._nodes)
+            ),
+        )
+        self.digests.append(snapshot)
+        if self.tracer is not None:
+            self.tracer.emit(  # type: ignore[attr-defined]
+                "state_digest",
+                snapshot.time,
+                index=snapshot.index,
+                nodes=len(snapshot.digests),
+            )

@@ -1,0 +1,4 @@
+from repro.ledger.transactions import COIN
+
+def leader_cut(fee_btc: float) -> int:
+    return int(fee_btc * COIN * 0.4)

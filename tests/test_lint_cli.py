@@ -121,6 +121,59 @@ def test_baseline_survives_unrelated_edits_not_snippet_edits(tmp_path):
     assert main(["lint", str(source), "--baseline", str(baseline)]) == 1
 
 
+# -- rule selection (--select / --ignore / --list-rules) ---------------------
+
+
+def test_select_runs_only_named_codes(capsys):
+    assert main(["lint", str(FIXTURES), "--select", "NG101,NG501",
+                 "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert sorted({f["code"] for f in payload["findings"]}) == [
+        "NG101", "NG501",
+    ]
+
+
+def test_ignore_drops_named_codes(capsys):
+    assert main(["lint", str(FIXTURES), "--ignore", "NG101", "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    codes = {f["code"] for f in payload["findings"]}
+    assert "NG101" not in codes
+    assert codes == set(RULES) - {"NG101"}
+
+
+def test_select_can_turn_findings_green(capsys):
+    # The NG101 bad fixture is clean under every other rule.
+    assert main(["lint", str(BAD), "--select", "NG302"]) == 0
+
+
+def test_select_unknown_code_exits_two(capsys):
+    assert main(["lint", str(FIXTURES), "--select", "NG999"]) == 2
+    assert "unknown rule code" in capsys.readouterr().err
+
+
+def test_ignore_unknown_code_exits_two(capsys):
+    assert main(["lint", str(FIXTURES), "--ignore", "NG999"]) == 2
+    assert "unknown rule code" in capsys.readouterr().err
+
+
+def test_select_and_ignore_conflict_exits_two(capsys):
+    assert main(["lint", str(FIXTURES), "--select", "NG101",
+                 "--ignore", "NG102"]) == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_list_rules_prints_full_table(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code, rule in RULES.items():
+        assert code in out
+        assert rule.name in out
+    # Every family label appears.
+    for family in ("rng", "clock/env", "ordering", "layering",
+                   "arithmetic"):
+        assert family in out
+
+
 @pytest.mark.parametrize("code", sorted(RULES))
 def test_explain_prints_rationale_and_examples(code, capsys):
     assert main(["lint", "--explain", code]) == 0

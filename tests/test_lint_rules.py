@@ -20,10 +20,10 @@ FIXTURES = Path(__file__).parent / "lint_fixtures"
 ALL_CODES = sorted(RULES)
 
 
-def test_ten_rules_across_four_families():
+def test_twelve_rules_across_five_families():
     families = {code[:3] for code in ALL_CODES}
-    assert families == {"NG1", "NG2", "NG3", "NG4"}
-    assert len(ALL_CODES) >= 10
+    assert families == {"NG1", "NG2", "NG3", "NG4", "NG5"}
+    assert len(ALL_CODES) >= 12
 
 
 @pytest.mark.parametrize("code", ALL_CODES)
