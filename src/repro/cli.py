@@ -88,6 +88,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         obs_dir=args.obs,
         scenario=_load_scenario_arg(args.scenario),
     )
+    if args.key_blocks is not None:
+        config = config.with_(target_key_blocks=args.key_blocks)
     if args.profile:
         from .profiling import profile_run
 
@@ -108,6 +110,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "n_nodes": config.n_nodes,
                 "seed": config.seed,
                 "target_blocks": config.target_blocks,
+                "target_key_blocks": config.target_key_blocks,
                 "block_rate": config.block_rate,
                 "block_size_bytes": config.block_size_bytes,
                 "key_block_rate": config.key_block_rate,
@@ -271,6 +274,15 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--block-rate", type=float, default=0.1)
     run_parser.add_argument("--block-size", type=int, default=20_000)
     run_parser.add_argument("--key-block-rate", type=float, default=0.01)
+    run_parser.add_argument(
+        "--key-blocks",
+        type=int,
+        default=None,
+        metavar="N",
+        help="target key blocks per run (run duration is whichever of "
+        "--blocks/--key-blocks takes longer at its rate; lower this "
+        "for short large-network smokes)",
+    )
     run_parser.add_argument(
         "--save-trace",
         metavar="PATH",

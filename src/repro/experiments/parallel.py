@@ -11,13 +11,17 @@ first.
 
 Worker count resolution, in priority order: an explicit ``jobs``
 argument, the ``REPRO_JOBS`` environment variable, then the machine's
-CPU count.  ``jobs=1`` short-circuits to plain in-process execution —
-no pool, no pickling — which keeps debugging and single-core machines
-simple.
+CPU count.  Requests beyond the CPUs actually available to this process
+are clamped (and logged): simulation workers are pure CPU, so
+oversubscribing cores only adds scheduler thrash — a 4-worker sweep on
+a 1-CPU container used to run *slower* than serial.  ``jobs=1``
+short-circuits to plain in-process execution — no pool, no pickling —
+which keeps debugging and single-core machines simple.
 """
 
 from __future__ import annotations
 
+import logging
 import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable, Sequence
@@ -28,17 +32,50 @@ from .runner import ExperimentResult, run_experiment
 # Environment variable consulted when no explicit worker count is given.
 JOBS_ENV_VAR = "REPRO_JOBS"
 
+logger = logging.getLogger(__name__)
 
-def resolve_jobs(jobs: int | None = None) -> int:
-    """Resolve a worker count: ``jobs`` arg > ``REPRO_JOBS`` > CPU count."""
+
+def available_cpus() -> int:
+    """CPUs usable by *this process* (affinity-aware, container-aware).
+
+    ``os.cpu_count()`` reports the machine; a cgroup/affinity-limited
+    process may own far fewer.  Falls back to the machine count where
+    affinity masks do not exist (macOS, Windows).
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return max(1, len(getaffinity(0)))
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return os.cpu_count() or 1
+
+
+def resolve_jobs(jobs: int | None = None, *, clamp: bool = True) -> int:
+    """Resolve a worker count: ``jobs`` arg > ``REPRO_JOBS`` > CPU count.
+
+    With ``clamp`` (the default), a request exceeding the CPUs available
+    to this process is reduced to that limit and the clamp is logged —
+    pure-CPU simulation workers gain nothing from oversubscription.
+    """
     if jobs is None:
         env = os.environ.get(JOBS_ENV_VAR, "").strip()
         if env:
             jobs = int(env)
         else:
-            jobs = os.cpu_count() or 1
+            jobs = available_cpus()
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if clamp:
+        cpus = available_cpus()
+        if jobs > cpus:
+            logger.info(
+                "clamping %d requested sweep workers to %d available CPU%s",
+                jobs,
+                cpus,
+                "" if cpus == 1 else "s",
+            )
+            jobs = cpus
     return jobs
 
 

@@ -135,6 +135,27 @@ def _target_identifier(target: ast.expr) -> str | None:
     return None
 
 
+def _annotation_is_tuple_keyed_dict(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return False
+    for node in ast.walk(annotation):
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in ("dict", "Dict")
+            and isinstance(node.slice, ast.Tuple)
+            and node.slice.elts
+        ):
+            key = node.slice.elts[0]
+            for part in ast.walk(key):
+                if isinstance(part, ast.Name) and part.id in (
+                    "tuple",
+                    "Tuple",
+                ):
+                    return True
+    return False
+
+
 def harvest_set_identifiers(trees: Iterable[ast.Module]) -> frozenset[str]:
     """Identifiers the project declares or builds as set/frozenset.
 
@@ -169,6 +190,30 @@ def harvest_set_identifiers(trees: Iterable[ast.Module]) -> frozenset[str]:
     return frozenset(names)
 
 
+def harvest_tuple_dict_identifiers(
+    trees: Iterable[ast.Module],
+) -> frozenset[str]:
+    """Identifiers the project annotates as ``dict[tuple[...], ...]``.
+
+    Feeds NG303: inside ``repro.net``, *iterating* one of these is a
+    hot-path layout smell — per-edge state belongs in flat CSR edge-id
+    arrays, with tuple-keyed dicts kept to point lookups.  Like the set
+    harvest above, this is project-wide and over-approximates by name.
+    """
+    names: set[str] = set()
+    for tree in trees:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.AnnAssign):
+                if _annotation_is_tuple_keyed_dict(node.annotation):
+                    identifier = _target_identifier(node.target)
+                    if identifier:
+                        names.add(identifier)
+            elif isinstance(node, ast.arg):
+                if _annotation_is_tuple_keyed_dict(node.annotation):
+                    names.add(node.arg)
+    return frozenset(names)
+
+
 def _parse(path: Path) -> _ParsedModule:
     source = path.read_text(encoding="utf-8")
     lines = source.splitlines()
@@ -196,6 +241,9 @@ def lint_paths(
     files = collect_files(paths)
     modules = [_parse(path) for path in files]
     set_attrs = harvest_set_identifiers(m.tree for m in modules)
+    tuple_dict_attrs = harvest_tuple_dict_identifiers(
+        m.tree for m in modules
+    )
 
     selected = all_rules()
     if codes is not None:
@@ -213,6 +261,7 @@ def lint_paths(
             lines=parsed.lines,
             imports=ImportMap.of(parsed.tree),
             set_attrs=set_attrs,
+            tuple_dict_attrs=tuple_dict_attrs,
         )
         for rule_cls in selected:
             if not rule_cls.applies_to(parsed.module):

@@ -85,6 +85,8 @@ ADAPTER_INTERNALS = frozenset(
 #: Layers that may never import the harness above them.
 PROTOCOL_LAYERS = ("repro.core", "repro.bitcoin", "repro.ghost")
 HARNESS_LAYERS = ("repro.experiments", "repro.cli")
+#: The hot simulation layer: NG303's array-layout rule applies only here.
+NET_LAYERS = ("repro.net",)
 
 
 @dataclass
@@ -130,6 +132,8 @@ class ModuleContext:
     lines: list[str]
     imports: ImportMap
     set_attrs: frozenset[str]  #: project-wide set-typed identifiers
+    #: project-wide identifiers annotated as ``dict[tuple[...], ...]``
+    tuple_dict_attrs: frozenset[str] = frozenset()
 
 
 class Rule(ast.NodeVisitor):
@@ -648,6 +652,92 @@ class HashBasedTieBreak(Rule):
                             f"ordering by `key={bad}` is machine-dependent "
                             "— use a stable domain key",
                         )
+        self.generic_visit(node)
+
+
+@register
+class TupleKeyedDictIteration(Rule):
+    code = "NG303"
+    name = "tuple-keyed-dict-iteration"
+    rationale = (
+        "Iterating a dict keyed by `(src, dst)` tuples inside the "
+        "network layer walks a hash table and re-materialises a 2-tuple "
+        "per edge — the exact per-edge overhead the array-core rework "
+        "removed from the hot path. Per-edge state lives in flat arrays "
+        "indexed by the CSR edge id (`Topology.csr()`): loop over "
+        "`range(indptr[src], indptr[src + 1])` or the flat arrays "
+        "themselves. Tuple-keyed dicts stay fine as point lookups "
+        "(`self._eid[(src, dst)]`); only iteration is flagged."
+    )
+    bad_example = (
+        "# repro-lint: module=repro.net.flood\n"
+        "\n"
+        "class Network:\n"
+        "    def __init__(self) -> None:\n"
+        "        self.links: dict[tuple[int, int], float] = {}\n"
+        "\n"
+        "    def total_latency(self) -> float:\n"
+        "        total = 0.0\n"
+        "        for (src, dst), latency in self.links.items():\n"
+        "            total += latency\n"
+        "        return total\n"
+    )
+    good_example = (
+        "# repro-lint: module=repro.net.flood\n"
+        "\n"
+        "class Network:\n"
+        "    def __init__(self) -> None:\n"
+        "        self.edge_latency: list[float] = []\n"
+        "\n"
+        "    def total_latency(self) -> float:\n"
+        "        total = 0.0\n"
+        "        for latency in self.edge_latency:\n"
+        "            total += latency\n"
+        "        return total\n"
+    )
+
+    @classmethod
+    def applies_to(cls, module: str) -> bool:
+        # Inverted policy: a hot-path layout rule, scoped to the network
+        # layer — harness, analysis, and CLI code may iterate small
+        # tuple-keyed dicts (sweep grids, report tables) legitimately.
+        return any(
+            module == layer or module.startswith(layer + ".")
+            for layer in NET_LAYERS
+        )
+
+    def _tuple_keyed_name(self, node: ast.expr) -> str | None:
+        """The tuple-keyed dict identifier ``node`` iterates, if any."""
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in (
+                "items",
+                "keys",
+                "values",
+            ):
+                return self._tuple_keyed_name(func.value)
+            return None
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr in self.context.tuple_dict_attrs
+        ):
+            return node.attr
+        if (
+            isinstance(node, ast.Name)
+            and node.id in self.context.tuple_dict_attrs
+        ):
+            return node.id
+        return None
+
+    def visit_For(self, node: ast.For) -> None:
+        name = self._tuple_keyed_name(node.iter)
+        if name is not None:
+            self.report(
+                node,
+                f"iterating tuple-keyed dict `{name}` in a repro.net "
+                "hot path — keep per-edge state in flat CSR edge-id "
+                "arrays and loop over those",
+            )
         self.generic_visit(node)
 
 

@@ -2,8 +2,9 @@
 
 from .events import Event, EventQueue
 from .gossip import GETDATA_SIZE, INV_SIZE, GossipNode, RelayMode, StoredObject
+from .interning import ObjectIdTable
 from .latency import LatencyHistogram, constant_histogram, default_histogram
-from .links import DEFAULT_BANDWIDTH_BPS, Link
+from .links import DEFAULT_BANDWIDTH_BPS, Link, LinkView
 from .network import Message, Network
 from .partitions import PartitionController
 from .simulator import Simulator
@@ -18,8 +19,10 @@ __all__ = [
     "GossipNode",
     "LatencyHistogram",
     "Link",
+    "LinkView",
     "Message",
     "Network",
+    "ObjectIdTable",
     "PartitionController",
     "RelayMode",
     "Simulator",

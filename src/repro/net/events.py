@@ -73,6 +73,35 @@ class EventQueue:
         heapq.heappush(self._heap, (time, sequence, event))
         return event
 
+    def push_batch(
+        self,
+        times: list[float],
+        callback: Callable[..., Any],
+        args_list: list[tuple[Any, ...]],
+    ) -> list[Event]:
+        """Schedule one ``callback(*args)`` per ``(time, args)`` pair.
+
+        Sequence numbers are assigned in list order, exactly as if
+        :meth:`push` had been called once per entry — a batched relay
+        fan-out is therefore indistinguishable from per-neighbor
+        scheduling.  Batching hoists the heap/sequence lookups out of
+        the loop and returns the :class:`Event` slab in list order.
+        """
+        if times and min(times) < 0:
+            raise ValueError("cannot schedule events at negative times")
+        heap = self._heap
+        heappush = heapq.heappush
+        sequence = self._sequence
+        slab = []
+        append = slab.append
+        for time, args in zip(times, args_list):
+            event = Event(time, sequence, callback, args)
+            heappush(heap, (time, sequence, event))
+            sequence += 1
+            append(event)
+        self._sequence = sequence
+        return slab
+
     def pop(self) -> Event | None:
         """Remove and return the next live event, or None when empty."""
         heap = self._heap

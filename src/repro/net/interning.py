@@ -1,0 +1,51 @@
+"""Dense interning of object ids.
+
+Gossip de-duplication asks "have I seen this 32-byte hash?" once per
+node per announcement — the single most frequent membership test in a
+run.  Interning every object id into a dense ``int`` the first time any
+node sees it turns those per-node ``set[bytes]`` probes into small-int
+membership checks, and shrinks each node's relay bookkeeping from N
+copies of 32-byte keys to N ints.
+
+One :class:`ObjectIdTable` is shared per :class:`~repro.net.network
+.Network` (i.e. per run).  Interning happens only at the receiver
+boundary — wire messages still carry raw ``bytes`` ids, so forged or
+replayed messages in tests keep working unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ObjectIdTable:
+    """Bijective ``bytes`` ↔ dense ``int`` mapping, append-only."""
+
+    __slots__ = ("_index", "_ids")
+
+    def __init__(self) -> None:
+        self._index: dict[bytes, int] = {}
+        self._ids: list[bytes] = []
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def intern(self, obj_id: bytes) -> int:
+        """The dense id for ``obj_id``, assigning the next one if new."""
+        index = self._index
+        iid = index.get(obj_id)
+        if iid is None:
+            iid = len(self._ids)
+            index[obj_id] = iid
+            self._ids.append(obj_id)
+        return iid
+
+    def lookup(self, obj_id: bytes) -> int | None:
+        """The dense id for ``obj_id`` if already interned, else None.
+
+        Read-only probes (``knows``/``get_object``) use this so that
+        merely asking about an id never grows the table.
+        """
+        return self._index.get(obj_id)
+
+    def obj_id(self, iid: int) -> bytes:
+        """The raw bytes id behind a dense id (for traces and wire)."""
+        return self._ids[iid]

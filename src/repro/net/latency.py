@@ -63,6 +63,30 @@ class LatencyHistogram:
         high = self.bin_edges[index + 1]
         return rng.uniform(low, high)
 
+    def sample_batch(self, rng: random.Random, count: int) -> list[float]:
+        """Draw ``count`` latencies with the exact RNG stream of
+        ``count`` successive :meth:`sample` calls.
+
+        The k-th element consumes the same two RNG draws (``randrange``
+        then ``uniform``) the k-th ``sample`` call would, so batched and
+        per-call sampling are bit-identical — the network layer relies
+        on this to fill its per-edge latency arrays without perturbing
+        the pinned k-th-sorted-edge ↔ k-th-draw contract.  The win is
+        hoisting the attribute lookups out of the per-edge loop.
+        """
+        randrange = rng.randrange
+        uniform = rng.uniform
+        bisect_right = bisect.bisect_right
+        cumulative = self._cumulative
+        edges = self.bin_edges
+        total = self._total
+        draws = []
+        append = draws.append
+        for _ in range(count):
+            index = bisect_right(cumulative, randrange(total))
+            append(uniform(edges[index], edges[index + 1]))
+        return draws
+
     def quantile(self, q: float) -> float:
         """Approximate the q-quantile from bin mass."""
         if not 0 <= q <= 1:

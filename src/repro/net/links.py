@@ -18,6 +18,10 @@ protocol is designed for — an artifact no real network exhibits.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from .network import Network
 
 # Paper's setting: ~100 kbit/s between each pair of nodes.
 DEFAULT_BANDWIDTH_BPS = 100_000 / 8  # bytes per second
@@ -69,3 +73,79 @@ class Link:
     def queue_delay(self, now: float) -> float:
         """Seconds a message sent now would wait before serializing."""
         return max(0.0, self.busy_until - now)
+
+
+class LinkView:
+    """A :class:`Link`-shaped window onto one directed edge of a
+    :class:`~repro.net.network.Network`'s struct-of-arrays core.
+
+    The network keeps per-link state in flat arrays indexed by edge id;
+    this facade re-exposes the old per-link object API (attribute reads
+    and writes, :meth:`transfer`, :meth:`queue_delay`) so link
+    degradation, fault injection, and tests keep working unchanged.
+    Views are cheap, transient handles: reads and writes go straight
+    through to the owning network's arrays.
+    """
+
+    __slots__ = ("_net", "_eid")
+
+    def __init__(self, net: Network, eid: int) -> None:
+        self._net = net
+        self._eid = eid
+
+    @property
+    def latency(self) -> float:
+        return self._net._lat[self._eid]
+
+    @latency.setter
+    def latency(self, value: float) -> None:
+        self._net._lat[self._eid] = value
+
+    @property
+    def bandwidth(self) -> float:
+        return self._net._bw[self._eid]
+
+    @bandwidth.setter
+    def bandwidth(self, value: float) -> None:
+        self._net._bw[self._eid] = value
+
+    @property
+    def busy_until(self) -> float:
+        return self._net._busy[self._eid]
+
+    @busy_until.setter
+    def busy_until(self, value: float) -> None:
+        self._net._busy[self._eid] = value
+
+    @property
+    def bytes_sent(self) -> int:
+        return self._net._bytes[self._eid]
+
+    @property
+    def messages_sent(self) -> int:
+        return self._net._msgs[self._eid]
+
+    @property
+    def interleave_cutoff(self) -> int:
+        return self._net._interleave_cutoff
+
+    def transfer(self, now: float, size_bytes: int) -> float:
+        """Book a transfer starting at ``now``; same rules as
+        :meth:`Link.transfer`, applied to the network's arrays."""
+        if size_bytes < 0:
+            raise ValueError("negative message size")
+        net = self._net
+        eid = self._eid
+        serialization = size_bytes / net._bw[eid]
+        net._bytes[eid] += size_bytes
+        net._msgs[eid] += 1
+        if size_bytes <= net._interleave_cutoff:
+            return now + serialization + net._lat[eid]
+        start = max(now, net._busy[eid])
+        busy = start + serialization
+        net._busy[eid] = busy
+        return busy + net._lat[eid]
+
+    def queue_delay(self, now: float) -> float:
+        """Seconds a message sent now would wait before serializing."""
+        return max(0.0, self._net._busy[self._eid] - now)

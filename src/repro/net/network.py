@@ -1,21 +1,33 @@
 """The simulated network: nodes, links, and message delivery.
 
-Ties a :class:`~repro.net.topology.Topology` to per-direction
-:class:`~repro.net.links.Link` objects whose latencies are drawn from a
+Ties a :class:`~repro.net.topology.Topology` to simulated directed
+links whose latencies are drawn from a
 :class:`~repro.net.latency.LatencyHistogram`, exactly as the paper's
 testbed assigned pairwise latencies.  Supports churn (nodes going
 offline and returning) and link partitions for robustness experiments.
+
+Link state lives in a struct-of-arrays core rather than a dict of
+``Link`` objects: the topology's CSR adjacency assigns every directed
+link a dense *edge id*, and per-link ``latency`` / ``bandwidth`` /
+``busy_until`` / traffic counters are flat lists indexed by it.  A
+1000-node, 5-degree run has ~10k directed links; touching three list
+slots per send beats a tuple-keyed dict lookup plus attribute access on
+a per-link object, and :meth:`Network.multicast` books a whole
+neighborhood fan-out as one batched event-queue call.  The
+:class:`~repro.net.links.LinkView` facade keeps the old per-link object
+API (``net.link(a, b).latency`` etc.) working on top of the arrays.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Callable, Protocol
+from typing import Any, Iterator, Protocol
 
 from ..obs.facade import NULL_OBS
+from .interning import ObjectIdTable
 from .latency import LatencyHistogram
-from .links import DEFAULT_BANDWIDTH_BPS, Link
+from .links import DEFAULT_BANDWIDTH_BPS, SMALL_MESSAGE_CUTOFF, LinkView
 from .simulator import Simulator
 from .topology import Topology
 
@@ -39,6 +51,53 @@ class MessageHandler(Protocol):
     def on_message(self, sender: int, message: Message) -> None: ...
 
 
+class _LinkTable:
+    """Read-only mapping view ``(src, dst) -> LinkView`` over the arrays.
+
+    Preserves the dict-of-links API the seed exposed as ``_links``:
+    iteration yields directed pairs, indexing returns a live view.
+    """
+
+    __slots__ = ("_net",)
+
+    def __init__(self, net: "Network") -> None:
+        self._net = net
+
+    def __len__(self) -> int:
+        return len(self._net._lat)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._net._eid
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return iter(zip(self._net._edge_src, self._net._edge_dst))
+
+    def __getitem__(self, key: tuple[int, int]) -> LinkView:
+        return LinkView(self._net, self._net._eid[key])
+
+    def get(
+        self, key: tuple[int, int], default: LinkView | None = None
+    ) -> LinkView | None:
+        eid = self._net._eid.get(key)
+        return default if eid is None else LinkView(self._net, eid)
+
+    def keys(self) -> Iterator[tuple[int, int]]:
+        return iter(self)
+
+    def values(self) -> Iterator[LinkView]:
+        net = self._net
+        return (LinkView(net, eid) for eid in range(len(net._lat)))
+
+    def items(self) -> Iterator[tuple[tuple[int, int], LinkView]]:
+        net = self._net
+        return (
+            ((src, dst), LinkView(net, eid))
+            for eid, (src, dst) in enumerate(
+                zip(net._edge_src, net._edge_dst)
+            )
+        )
+
+
 class Network:
     """Delivers messages between attached nodes over simulated links."""
 
@@ -51,6 +110,8 @@ class Network:
         latency_rng: random.Random | None = None,
         obs: Any | None = None,
     ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
         self.sim = sim
         self.topology = topology
         # Observability: a single boolean guards the hot send path, so
@@ -77,7 +138,10 @@ class Network:
             "sender-side serialization queueing delay of bulk messages",
         )
         self._adjacency = topology.neighbor_map()
-        self._handlers: dict[int, MessageHandler] = {}
+        # Indexed by node id (None = nothing attached): delivery is the
+        # single most frequent dispatch in a run, and a list index beats
+        # a dict probe there.
+        self._handlers: list[MessageHandler | None] = [None] * topology.n_nodes
         self._offline: set[int] = set()
         self._blocked: set[frozenset[int]] = set()
         # Fault injection (repro.scenarios): probabilistic send loss and
@@ -86,20 +150,59 @@ class Network:
         # never touches any random stream.
         self._loss_rate = 0.0
         self._loss_rng: random.Random | None = None
-        self._base_link_params: dict[tuple[int, int], tuple[float, float]] | None = None
-        self._links: dict[tuple[int, int], Link] = {}
         self.messages_delivered = 0
         self.bytes_delivered = 0
+        # One shared object-id interning table per run: every gossip
+        # node attached to this network dedupes through it.
+        self.object_ids = ObjectIdTable()
+
+        # -- struct-of-arrays link core ---------------------------------
+        # The CSR flat position of neighbor ``dst`` in ``src``'s row is
+        # the directed edge id; all per-link state is indexed by it.
+        indptr, indices = topology.csr()
+        self._indptr = indptr
+        self._indices = indices
+        n_directed = len(indices)
+        self._edge_dst = indices
+        edge_src = [0] * n_directed
+        eid_map: dict[tuple[int, int], int] = {}
+        for node in range(topology.n_nodes):
+            for eid in range(indptr[node], indptr[node + 1]):
+                edge_src[eid] = node
+                eid_map[(node, indices[eid])] = eid
+        self._edge_src = edge_src
+        self._eid = eid_map
+        self._lat = [0.0] * n_directed
+        self._bw = [bandwidth_bps] * n_directed
+        self._busy = [0.0] * n_directed
+        self._bytes = [0] * n_directed
+        self._msgs = [0] * n_directed
+        self._interleave_cutoff = SMALL_MESSAGE_CUTOFF
+        # Pristine (latency, bandwidth) snapshot, taken lazily on the
+        # first degradation so repeated degradations replace, never
+        # compound.
+        self._base_lat: list[float] | None = None
+        self._base_bw: list[float] | None = None
         rng = latency_rng or sim.rng
-        # Edges are drawn from the topology's *set* in sorted order:
-        # each pair's latency is the k-th RNG draw for a fixed k, never
-        # a function of hash layout or edge insertion order (NG301).
-        for a, b in sorted(tuple(sorted(edge)) for edge in topology.edges):
+        # Latencies are drawn for the topology's edge *set* in sorted
+        # order: each pair's latency is the k-th RNG draw for a fixed k,
+        # never a function of hash layout or edge insertion order
+        # (NG301).  sample_batch consumes the identical RNG stream as
+        # per-edge sample() calls, so the k-th-sorted-edge ↔ k-th-draw
+        # contract pinned in tests/test_net_network.py holds.
+        sorted_edges = topology.sorted_edges()
+        draws = latency_histogram.sample_batch(rng, len(sorted_edges))
+        lat = self._lat
+        for (a, b), latency in zip(sorted_edges, draws):
             # One latency per pair (symmetric), independent queues per
             # direction — matching how pairwise latency was assigned.
-            latency = latency_histogram.sample(rng)
-            self._links[(a, b)] = Link(latency, bandwidth_bps)
-            self._links[(b, a)] = Link(latency, bandwidth_bps)
+            lat[eid_map[(a, b)]] = latency
+            lat[eid_map[(b, a)]] = latency
+
+    @property
+    def _links(self) -> _LinkTable:
+        """Dict-of-links compatibility view over the arrays."""
+        return _LinkTable(self)
 
     def attach(self, node_id: int, handler: MessageHandler) -> None:
         """Register the protocol node living at ``node_id``."""
@@ -110,9 +213,9 @@ class Network:
     def neighbors(self, node_id: int) -> list[int]:
         return self._adjacency[node_id]
 
-    def link(self, src: int, dst: int) -> Link:
+    def link(self, src: int, dst: int) -> LinkView:
         """The directed link src→dst; raises KeyError if not adjacent."""
-        return self._links[(src, dst)]
+        return LinkView(self, self._eid[(src, dst)])
 
     def is_online(self, node_id: int) -> bool:
         return node_id not in self._offline
@@ -160,37 +263,36 @@ class Network:
         """
         if latency_mult <= 0 or bandwidth_mult <= 0:
             raise ValueError("degradation multipliers must be > 0")
-        if self._base_link_params is None:
-            self._base_link_params = {
-                key: (link.latency, link.bandwidth)
-                for key, link in self._links.items()
-            }
-        base_params = self._base_link_params
+        if self._base_lat is None or self._base_bw is None:
+            self._base_lat = self._lat[:]
+            self._base_bw = self._bw[:]
+        base_lat = self._base_lat
+        base_bw = self._base_bw
         if pairs is None:
-            keys = list(self._links)
+            eids: list[int] | range = range(len(self._lat))
         else:
-            keys = []
+            eid_map = self._eid
+            eids = []
             for a, b in pairs:
-                if (a, b) not in self._links:
+                forward = eid_map.get((a, b))
+                if forward is None:
                     raise ValueError(f"nodes {a} and {b} are not adjacent")
-                keys.append((a, b))
-                keys.append((b, a))
-        for key in keys:
-            link = self._links[key]
-            base_latency, base_bandwidth = base_params[key]
-            link.latency = base_latency * latency_mult
-            link.bandwidth = base_bandwidth * bandwidth_mult
-        return len(keys)
+                eids.append(forward)
+                eids.append(eid_map[(b, a)])
+        lat = self._lat
+        bw = self._bw
+        for eid in eids:
+            lat[eid] = base_lat[eid] * latency_mult
+            bw[eid] = base_bw[eid] * bandwidth_mult
+        return len(eids)
 
     def restore_links(self) -> int:
         """Undo every degradation; returns the number of links touched."""
-        if self._base_link_params is None:
+        if self._base_lat is None or self._base_bw is None:
             return 0
-        for key, (latency, bandwidth) in self._base_link_params.items():
-            link = self._links[key]
-            link.latency = latency
-            link.bandwidth = bandwidth
-        return len(self._base_link_params)
+        self._lat[:] = self._base_lat
+        self._bw[:] = self._base_bw
+        return len(self._lat)
 
     def block_link(self, a: int, b: int) -> None:
         """Drop all traffic between two adjacent nodes (partitioning)."""
@@ -226,35 +328,115 @@ class Network:
                 if self._obs_on:
                     self._record_drop(src, dst, message)
                 return
-        link = self._links.get((src, dst))
-        if link is None:
+        eid = self._eid.get((src, dst))
+        if eid is None:
             raise ValueError(f"nodes {src} and {dst} are not adjacent")
         now = self.sim.now
-        if self._obs_on:
+        size = message.size
+        serialization = size / self._bw[eid]
+        self._bytes[eid] += size
+        self._msgs[eid] += 1
+        if size <= self._interleave_cutoff:
+            # Packet-level interleaving: no head-of-line blocking, and
+            # the negligible capacity used is not charged to the queue.
+            queue_delay = 0.0
+            arrival = now + serialization + self._lat[eid]
+        else:
+            busy = self._busy[eid]
             # Queueing delay must be read before the transfer books the
             # link; interleaved small messages never queue.
-            queue_delay = (
-                link.queue_delay(now)
-                if message.size > link.interleave_cutoff
-                else 0.0
-            )
-            arrival = link.transfer(now, message.size)
+            queue_delay = busy - now if busy > now else 0.0
+            start = busy if busy > now else now
+            busy = start + serialization
+            self._busy[eid] = busy
+            arrival = busy + self._lat[eid]
+        if self._obs_on:
             self._record_send(src, dst, message, queue_delay, arrival)
-        else:
-            arrival = link.transfer(now, message.size)
         self.sim.schedule_at(arrival, self._deliver, src, dst, message)
+
+    def multicast(self, src: int, message: Message, exclude: int = -1) -> None:
+        """Send one shared ``message`` to every neighbor of ``src``
+        except ``exclude``.
+
+        Equivalent to calling :meth:`send` once per neighbor in sorted
+        order — same per-peer drop checks, loss draws, link booking
+        math, and event-sequence order — but the per-link state is
+        touched directly by edge id and all deliveries are booked in
+        one batched event-queue call.  This is the gossip relay fan-out,
+        the hottest path in a large run.
+        """
+        indptr = self._indptr
+        start, end = indptr[src], indptr[src + 1]
+        if start == end:
+            return
+        indices = self._indices
+        offline = self._offline
+        blocked = self._blocked
+        loss_rate = self._loss_rate
+        obs_on = self._obs_on
+        now = self.sim.now
+        size = message.size
+        lat = self._lat
+        bw = self._bw
+        busy_arr = self._busy
+        bytes_arr = self._bytes
+        msgs_arr = self._msgs
+        small = size <= self._interleave_cutoff
+        src_offline = bool(offline) and src in offline
+        times: list[float] = []
+        args_list: list[tuple[Any, ...]] = []
+        book = times.append
+        book_args = args_list.append
+        for eid in range(start, end):
+            dst = indices[eid]
+            if dst == exclude:
+                continue
+            if src_offline or (offline and dst in offline):
+                if obs_on:
+                    self._record_drop(src, dst, message)
+                continue
+            if blocked and frozenset((src, dst)) in blocked:
+                if obs_on:
+                    self._record_drop(src, dst, message)
+                continue
+            if loss_rate:
+                loss_rng = self._loss_rng
+                assert loss_rng is not None
+                if loss_rng.random() < loss_rate:
+                    if obs_on:
+                        self._record_drop(src, dst, message)
+                    continue
+            serialization = size / bw[eid]
+            bytes_arr[eid] += size
+            msgs_arr[eid] += 1
+            if small:
+                queue_delay = 0.0
+                arrival = now + serialization + lat[eid]
+            else:
+                busy = busy_arr[eid]
+                queue_delay = busy - now if busy > now else 0.0
+                begin = busy if busy > now else now
+                busy = begin + serialization
+                busy_arr[eid] = busy
+                arrival = busy + lat[eid]
+            if obs_on:
+                self._record_send(src, dst, message, queue_delay, arrival)
+            book(arrival)
+            book_args((src, dst, message))
+        if times:
+            self.sim.schedule_batch(times, self._deliver, args_list)
 
     def broadcast(self, src: int, message: Message) -> None:
         """Send to every neighbor of ``src``."""
-        for peer in self._adjacency[src]:
-            self.send(src, peer, message)
+        self.multicast(src, message)
 
     def _deliver(self, src: int, dst: int, message: Message) -> None:
-        if dst in self._offline:
+        offline = self._offline
+        if offline and dst in offline:
             if self._obs_on:
                 self._record_drop(src, dst, message)
             return
-        handler = self._handlers.get(dst)
+        handler = self._handlers[dst]
         if handler is None:
             return
         self.messages_delivered += 1
@@ -315,14 +497,15 @@ class Network:
         serializing; its backlog in bytes is the remaining busy time
         times its bandwidth.  Used by the periodic link sampler.
         """
-        busy = 0
+        busy_count = 0
         queued = 0.0
-        for link in self._links.values():
-            remaining = link.busy_until - now
+        bw = self._bw
+        for eid, busy in enumerate(self._busy):
+            remaining = busy - now
             if remaining > 0:
-                busy += 1
-                queued += remaining * link.bandwidth
-        return busy, len(self._links), queued
+                busy_count += 1
+                queued += remaining * bw[eid]
+        return busy_count, len(self._busy), queued
 
     def traffic_by_node(self) -> list[dict[str, int]]:
         """Per-node traffic totals from the per-link counters.
@@ -336,18 +519,20 @@ class Network:
             {"bytes_out": 0, "bytes_in": 0, "messages_out": 0, "messages_in": 0}
             for _ in range(self.topology.n_nodes)
         ]
-        for (src, dst), link in self._links.items():
+        bytes_arr = self._bytes
+        msgs_arr = self._msgs
+        edge_dst = self._edge_dst
+        for eid, src in enumerate(self._edge_src):
+            count = bytes_arr[eid]
+            messages = msgs_arr[eid]
             out = per_node[src]
-            out["bytes_out"] += link.bytes_sent
-            out["messages_out"] += link.messages_sent
-            into = per_node[dst]
-            into["bytes_in"] += link.bytes_sent
-            into["messages_in"] += link.messages_sent
+            out["bytes_out"] += count
+            out["messages_out"] += messages
+            into = per_node[edge_dst[eid]]
+            into["bytes_in"] += count
+            into["messages_in"] += messages
         return per_node
 
     def total_bytes_queued(self) -> int:
         """Bytes ever booked onto links (sent, not necessarily delivered)."""
-        seen = 0
-        for link in self._links.values():
-            seen += link.bytes_sent
-        return seen
+        return sum(self._bytes)

@@ -40,8 +40,9 @@ class PartitionController:
                 assignment[node] = index
         implicit = len(groups)
         cut = 0
-        for edge in self.network.topology.edges:
-            a, b = tuple(edge)
+        # Sorted edge order keeps _cut_links (and any tracing hung off
+        # block_link) independent of edge-set hash layout.
+        for a, b in self.network.topology.sorted_edges():
             if assignment.get(a, implicit) != assignment.get(b, implicit):
                 self.network.block_link(a, b)
                 self._cut_links.append((a, b))

@@ -80,6 +80,26 @@ class Simulator:
         heapq.heappush(queue._heap, (time, sequence, event))
         return event
 
+    def schedule_batch(
+        self,
+        times: list[float],
+        callback: Callable[..., Any],
+        args_list: list[tuple[Any, ...]],
+    ) -> list[Event]:
+        """Schedule one ``callback(*args)`` per ``(time, args)`` pair.
+
+        Equivalent to calling :meth:`schedule_at` once per entry (same
+        sequence-number order, so dispatch order is unchanged), but the
+        per-event heap bookkeeping is hoisted into one queue call — the
+        relay fan-out in :class:`~repro.net.network.Network` books a
+        whole neighborhood this way.
+        """
+        if times and min(times) < self._now:
+            raise ValueError(
+                f"cannot schedule in the past ({min(times)} < {self._now})"
+            )
+        return self._queue.push_batch(times, callback, args_list)
+
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
         """Process events in order until the queue empties.
 

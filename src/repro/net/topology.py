@@ -5,6 +5,15 @@ by connecting each node to at least 5 other nodes, chosen uniformly at
 random" (Section 7).  :func:`random_topology` reproduces exactly that
 construction and retries until the graph is connected (it almost always
 is at degree >= 5).
+
+The adjacency is served from a cached CSR (compressed sparse row)
+layout: one flat ``indices`` array of sorted neighbors and an
+``indptr`` offset array, built once per edge set.  The position of a
+neighbor inside ``indices`` doubles as the *directed edge id* the
+network layer keys its per-link arrays by, so every ``neighbors()`` /
+``degree()`` call — and every relay fan-out in
+:class:`~repro.net.network.Network` — is an O(degree) slice instead of
+an O(E) scan over the edge set.
 """
 
 from __future__ import annotations
@@ -20,6 +29,12 @@ class Topology:
 
     n_nodes: int
     edges: set[frozenset[int]] = field(default_factory=set)
+    # Cached CSR adjacency: (indptr, indices, edge_count_at_build).
+    # The edge-count stamp makes the cache self-invalidating — adding
+    # an edge changes len(edges), so a stale CSR is never served.
+    _csr: tuple[list[int], list[int], int] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def add_edge(self, a: int, b: int) -> None:
         if a == b:
@@ -28,39 +43,68 @@ class Topology:
             raise ValueError(f"edge ({a}, {b}) references unknown node")
         self.edges.add(frozenset((a, b)))
 
+    def csr(self) -> tuple[list[int], list[int]]:
+        """The cached CSR adjacency: ``(indptr, indices)``.
+
+        ``indices[indptr[v]:indptr[v + 1]]`` is node ``v``'s sorted
+        neighbor list; the flat position of each entry is the directed
+        edge id ``v -> indices[k]`` used by the network's per-edge
+        arrays.  Built once and reused until the edge set grows.
+        """
+        cached = self._csr
+        if cached is not None and cached[2] == len(self.edges):
+            return cached[0], cached[1]
+        rows: list[list[int]] = [[] for _ in range(self.n_nodes)]
+        for edge in self.edges:
+            a, b = sorted(edge)
+            rows[a].append(b)
+            rows[b].append(a)
+        indptr = [0] * (self.n_nodes + 1)
+        indices: list[int] = []
+        for node, row in enumerate(rows):
+            row.sort()
+            indices.extend(row)
+            indptr[node + 1] = len(indices)
+        self._csr = (indptr, indices, len(self.edges))
+        return indptr, indices
+
+    def sorted_edges(self) -> list[tuple[int, int]]:
+        """Undirected edges as sorted ``(a, b)`` pairs, ascending.
+
+        This is the canonical edge enumeration order: the network layer
+        draws the k-th pair latency for the k-th entry of this list
+        (pinned in ``tests/test_net_network.py``), so the order must
+        never depend on set/hash layout.
+        """
+        return sorted(tuple(sorted(edge)) for edge in self.edges)
+
     def neighbors(self, node: int) -> list[int]:
         """Sorted neighbor list (sorted for determinism)."""
-        found = []
-        for edge in self.edges:
-            if node in edge:
-                (other,) = edge - {node}
-                found.append(other)
-        return sorted(found)
+        indptr, indices = self.csr()
+        return indices[indptr[node] : indptr[node + 1]]
 
     def neighbor_map(self) -> dict[int, list[int]]:
         """Precomputed adjacency lists for the whole graph."""
-        adjacency: dict[int, list[int]] = {i: [] for i in range(self.n_nodes)}
-        for edge in self.edges:
-            a, b = sorted(edge)
-            adjacency[a].append(b)
-            adjacency[b].append(a)
-        for peers in adjacency.values():
-            peers.sort()
-        return adjacency
+        indptr, indices = self.csr()
+        return {
+            node: indices[indptr[node] : indptr[node + 1]]
+            for node in range(self.n_nodes)
+        }
 
     def degree(self, node: int) -> int:
-        return sum(1 for edge in self.edges if node in edge)
+        indptr, _ = self.csr()
+        return indptr[node + 1] - indptr[node]
 
     def is_connected(self) -> bool:
         """BFS reachability from node 0."""
         if self.n_nodes == 0:
             return True
-        adjacency = self.neighbor_map()
+        indptr, indices = self.csr()
         seen = {0}
         frontier = deque([0])
         while frontier:
             node = frontier.popleft()
-            for peer in adjacency[node]:
+            for peer in indices[indptr[node] : indptr[node + 1]]:
                 if peer not in seen:
                     seen.add(peer)
                     frontier.append(peer)
@@ -68,12 +112,12 @@ class Topology:
 
     def diameter_bound(self) -> int:
         """Eccentricity of node 0 — a cheap lower bound on the diameter."""
-        adjacency = self.neighbor_map()
+        indptr, indices = self.csr()
         depth = {0: 0}
         frontier = deque([0])
         while frontier:
             node = frontier.popleft()
-            for peer in adjacency[node]:
+            for peer in indices[indptr[node] : indptr[node + 1]]:
                 if peer not in depth:
                     depth[peer] = depth[node] + 1
                     frontier.append(peer)
@@ -99,11 +143,20 @@ def random_topology(
     rng = rng or random.Random(0)
     for _ in range(max_attempts):
         topo = Topology(n_nodes)
-        population = list(range(n_nodes))
+        add_edge = topo.add_edge
+        # ``others`` is the population minus the current node.  Rebuilt
+        # per node it is O(n^2) allocations; instead it is maintained
+        # incrementally: for node i the list is [0..i-1, i+1..n-1], and
+        # stepping i -> i+1 only changes position i (i+1 becomes i).
+        # The list contents at every step are identical to the rebuilt
+        # version, so the `rng.sample` draw sequence is preserved
+        # exactly.
+        others = list(range(1, n_nodes))
         for node in range(n_nodes):
-            others = [peer for peer in population if peer != node]
+            if node > 0:
+                others[node - 1] = node - 1
             for peer in rng.sample(others, min_degree):
-                topo.add_edge(node, peer)
+                add_edge(node, peer)
         if topo.is_connected():
             return topo
     raise RuntimeError(

@@ -1,0 +1,11 @@
+# repro-lint: module=repro.net.flood
+
+class Network:
+    def __init__(self) -> None:
+        self.edge_latency: list[float] = []
+
+    def total_latency(self) -> float:
+        total = 0.0
+        for latency in self.edge_latency:
+            total += latency
+        return total

@@ -1,0 +1,12 @@
+# repro-lint: module=repro.net.flood
+
+class Network:
+    def __init__(self) -> None:
+        self.links: dict[tuple[int, int], float] = {}
+
+    def total_latency(self) -> float:
+        total = 0.0
+        # repro: allow[NG303]
+        for (src, dst), latency in self.links.items():
+            total += latency
+        return total

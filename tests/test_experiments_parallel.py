@@ -1,0 +1,51 @@
+"""Worker-count resolution and the oversubscription clamp."""
+
+import logging
+
+import pytest
+
+from repro.experiments.parallel import (
+    JOBS_ENV_VAR,
+    SweepExecutor,
+    available_cpus,
+    resolve_jobs,
+)
+
+
+def test_available_cpus_positive():
+    assert available_cpus() >= 1
+
+
+def test_explicit_jobs_within_cpus_pass_through():
+    assert resolve_jobs(1) == 1
+
+
+def test_oversubscription_clamped_and_logged(caplog):
+    cpus = available_cpus()
+    with caplog.at_level(logging.INFO, logger="repro.experiments.parallel"):
+        assert resolve_jobs(cpus * 4) == cpus
+    assert any("clamping" in record.message for record in caplog.records)
+
+
+def test_clamp_can_be_disabled():
+    cpus = available_cpus()
+    assert resolve_jobs(cpus * 4, clamp=False) == cpus * 4
+
+
+def test_env_var_requests_are_clamped_too(monkeypatch):
+    monkeypatch.setenv(JOBS_ENV_VAR, str(available_cpus() * 8))
+    assert resolve_jobs() == available_cpus()
+
+
+def test_default_resolution_uses_available_cpus(monkeypatch):
+    monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+    assert resolve_jobs() == available_cpus()
+
+
+def test_invalid_jobs_rejected():
+    with pytest.raises(ValueError):
+        resolve_jobs(0)
+
+
+def test_executor_jobs_are_clamped():
+    assert SweepExecutor(jobs=available_cpus() * 4).jobs == available_cpus()

@@ -100,17 +100,17 @@ def test_reset_relay_state_clears_stale_request_wedge():
     # Let the inv and node 4's getdata go out, then kill the node before
     # the object arrives — the delivery is dropped by churn.
     sim.run(until=sim.now + 0.12)
-    assert block.hash in nodes[4]._requested
-    assert block.hash not in nodes[4]._store
+    assert nodes[4].has_requested(block.hash)
+    assert not nodes[4].knows(block.hash)
     net.set_offline(4)
     # Stay well inside the 120 s request timeout: the wedge is only
     # cleared by that timer, which is exactly the problem.
     sim.run(until=sim.now + 10.0)
     net.set_online(4)
     # Stale bookkeeping survives the outage...
-    assert block.hash in nodes[4]._requested
+    assert nodes[4].has_requested(block.hash)
     nodes[4].reset_relay_state()
-    assert block.hash not in nodes[4]._requested
+    assert not nodes[4].has_requested(block.hash)
     assert not nodes[4]._request_timers
     # ...and once cleared, the tip solicitation heals the node now
     # rather than after the request timeout.

@@ -128,6 +128,68 @@ def test_ordered_iteration_not_flagged(tmp_path):
     assert lint_paths([ok]).findings == []
 
 
+# -- the tuple-keyed dict harvest and the NG303 net-layer scope -------------
+
+
+def test_tuple_dict_iteration_flagged_only_inside_net(tmp_path):
+    """Harvest is project-wide; the rule fires only in repro.net."""
+    decl = tmp_path / "decl.py"
+    decl.write_text(
+        "class Seed:\n"
+        "    links: dict[tuple[int, int], float]\n",
+        encoding="utf-8",
+    )
+    loop = (
+        "def total(links) -> float:\n"
+        "    acc = 0.0\n"
+        "    for pair in links:\n"
+        "        acc += 1.0\n"
+        "    return acc\n"
+    )
+    inside = tmp_path / "inside.py"
+    inside.write_text(
+        "# repro-lint: module=repro.net.stats\n" + loop, encoding="utf-8"
+    )
+    outside = tmp_path / "outside.py"
+    outside.write_text(
+        "# repro-lint: module=repro.experiments.stats\n" + loop,
+        encoding="utf-8",
+    )
+    report = lint_paths([tmp_path], codes=["NG303"])
+    assert [f.code for f in report.findings] == ["NG303"]
+    assert report.findings[0].path.endswith("inside.py")
+
+
+def test_tuple_dict_point_lookup_not_flagged(tmp_path):
+    """Point lookups are the approved use; only iteration is a finding."""
+    ok = tmp_path / "ok.py"
+    ok.write_text(
+        "# repro-lint: module=repro.net.lookup\n"
+        "def eid(table: dict[tuple[int, int], int], s: int, d: int) -> int:\n"
+        "    return table[(s, d)]\n",
+        encoding="utf-8",
+    )
+    assert lint_paths([ok]).findings == []
+
+
+def test_tuple_dict_harvest_identifier_sources():
+    import ast
+
+    from repro.lint.engine import harvest_tuple_dict_identifiers
+
+    tree = ast.parse(
+        "class Net:\n"
+        "    def __init__(self):\n"
+        "        self.eids: dict[tuple[int, int], int] = {}\n"
+        "        self.by_node: dict[int, list[int]] = {}\n"
+        "def f(grid: dict[tuple[str, int], float]) -> None:\n"
+        "    pass\n"
+    )
+    names = harvest_tuple_dict_identifiers([tree])
+    assert {"eids", "grid"} <= names
+    assert "by_node" not in names
+
+
 def test_module_inference_and_directive(tmp_path):
     assert infer_module(Path("src/repro/net/network.py")) == "repro.net.network"
     assert infer_module(Path("src/repro/net/__init__.py")) == "repro.net"
