@@ -454,6 +454,151 @@ def test_scenario_disabled_overhead():
     )
 
 
+def test_profiler_disabled_overhead():
+    """A run without ``--prof`` pays nothing for the profiler.
+
+    The disabled path is one ``None``-check of the simulator's profiler
+    slot at the top of ``run()`` — a profiled run branches into its own
+    loop, so the bare dispatch loop is byte-identical with or without
+    the profiler subsystem present.  Interleaved A/B rounds of the
+    200k-event pump, bare versus explicitly-disabled
+    (``set_profiler(None)``), must stay within the same 5% bound the
+    observability and sanitizer layers honor.
+    """
+
+    def one_round(install_profiler: bool) -> float:
+        sim = Simulator(seed=0)
+        if install_profiler:
+            sim.set_profiler(None)  # the disabled state, made explicit
+        count = 0
+
+        def tick() -> None:
+            nonlocal count
+            count += 1
+            if count < PUMP_EVENTS:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(0.0, tick)
+        start = time.perf_counter()
+        sim.run()
+        return PUMP_EVENTS / (time.perf_counter() - start)
+
+    bare_rate = 0.0
+    disabled_rate = 0.0
+    for _ in range(3):
+        bare_rate = max(bare_rate, one_round(install_profiler=False))
+        disabled_rate = max(disabled_rate, one_round(install_profiler=True))
+
+    ratio = disabled_rate / bare_rate
+    update_bench(
+        BENCH_JSON,
+        "profiler_overhead",
+        {
+            "pump_events": PUMP_EVENTS,
+            "bare_events_per_sec": round(bare_rate, 1),
+            "disabled_prof_events_per_sec": round(disabled_rate, 1),
+            "disabled_over_bare_ratio": round(ratio, 4),
+        },
+    )
+    assert ratio >= 0.95, (
+        f"disabled profiler cost {1 - ratio:.1%} of dispatch rate "
+        f"(bound: 5%)"
+    )
+
+
+def _phase_breakdown(profile, top: int = 10) -> dict:
+    """Compact per-phase JSON rows for the trajectory file."""
+    total = profile.wall_simulate_seconds
+    return {
+        phase: {
+            "seconds": round(stat.seconds, 3),
+            "share": round(stat.seconds / total, 4) if total else 0.0,
+            "calls": stat.calls,
+        }
+        for phase, stat in profile.top_phases(top)
+    }
+
+
+def test_profiler_attribution():
+    """Profiled runs stay bit-identical and attribute >= 95% of wall.
+
+    Three real workloads feed the ``profile`` trajectory section: the
+    60-node micro run (with an A/B bit-identicality check against a
+    bare run), the paper's 1000-node network (gating the >= 95%
+    attribution coverage the profiler promises), and a checked run
+    whose per-INV1xx-checker costs answer "which invariant makes
+    ``--check`` slow" with measured numbers.
+    """
+    from repro.prof import profile_experiment
+
+    bare_result, _ = run_experiment(MICRO_CONFIG)
+    start = time.perf_counter()
+    prof_result, _, small = profile_experiment(MICRO_CONFIG)
+    prof_wall = time.perf_counter() - start
+    # Profiling measures, never perturbs.
+    assert prof_result.as_row() == bare_result.as_row()
+    assert prof_result.events_processed == bare_result.events_processed
+
+    _, _, big = profile_experiment(SCALE_CONFIG)
+    assert big.coverage >= 0.95, (
+        f"1000-node profile attributes only {big.coverage:.1%} "
+        f"of simulate wall (bound: 95%)"
+    )
+
+    checked_config = SWEEP_BASE.with_(seed=0, check=True, check_stride=64)
+    _, _, checked = profile_experiment(checked_config)
+    assert checked.checkers, "checked profiled run recorded no checker costs"
+    checker_rows = {
+        code: {
+            "seconds": round(stat.seconds, 3),
+            "share": round(
+                stat.seconds / checked.wall_simulate_seconds, 4
+            ),
+            "calls": stat.calls,
+        }
+        for code, stat in sorted(
+            checked.checkers.items(),
+            key=lambda item: -item[1].seconds,
+        )
+    }
+
+    update_bench(
+        BENCH_JSON,
+        "profile",
+        {
+            "micro_60": {
+                "events_processed": small.events_processed,
+                "wall_simulate_seconds": round(
+                    small.wall_simulate_seconds, 3
+                ),
+                "coverage": round(small.coverage, 4),
+                "bit_identical_to_bare": True,
+                "phases": _phase_breakdown(small),
+            },
+            "scale_1000": {
+                "events_processed": big.events_processed,
+                "wall_simulate_seconds": round(big.wall_simulate_seconds, 3),
+                "coverage": round(big.coverage, 4),
+                "epoch_spans": len(big.spans),
+                "phases": _phase_breakdown(big),
+            },
+            "checked_40": {
+                "events_processed": checked.events_processed,
+                "wall_simulate_seconds": round(
+                    checked.wall_simulate_seconds, 3
+                ),
+                "sanitize_share": round(
+                    checked.phases["sanitize"].seconds
+                    / checked.wall_simulate_seconds,
+                    4,
+                ),
+                "checkers": checker_rows,
+            },
+            "profiled_run_wall_seconds": round(prof_wall, 3),
+        },
+    )
+
+
 def test_lint_speed():
     """The static analyzer fits a pre-commit budget: src/ in under 10s.
 
@@ -496,6 +641,8 @@ def test_bench_json_is_valid():
         "obs_overhead",
         "sanitizer",
         "scenario_overhead",
+        "profiler_overhead",
+        "profile",
         "lint",
         "baseline",
     ):

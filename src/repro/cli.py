@@ -17,6 +17,10 @@ Examples::
     python -m repro run --protocol bitcoin-ng --check
     python -m repro check diverge --protocol bitcoin-ng --nodes 30
     python -m repro check record --out run.digests.jsonl
+    python -m repro prof run --protocol bitcoin-ng --nodes 1000 --out prof/
+    python -m repro prof report prof/bitcoin-ng-f0.2-b8000-seed0.prof.json
+    python -m repro prof diff before.prof.json after.prof.json
+    python -m repro sweep frequency --nodes 60 --progress
 """
 
 from __future__ import annotations
@@ -175,10 +179,32 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if scenario is not None:
         base = base.with_(scenario=scenario)
     seeds = tuple(args.seeds)
+    progress = None
+    if args.progress:
+
+        def progress(index: int, total: int, result) -> None:
+            # Per-cell heartbeat from the pool workers, in completion
+            # order, on stderr so piped table output stays clean.
+            cell = result.config
+            rate = result.events_processed / max(
+                result.wall_simulate_seconds, 1e-9
+            )
+            protocol = getattr(cell.protocol, "value", str(cell.protocol))
+            print(
+                f"[{index + 1}/{total}] {protocol} "
+                f"rate={cell.block_rate:g} size={cell.block_size_bytes} "
+                f"seed={cell.seed}: {result.events_processed:,} events, "
+                f"{rate:,.0f} ev/s",
+                file=sys.stderr,
+                flush=True,
+            )
+
     if args.axis == "frequency":
-        sweep = frequency_sweep(base, seeds=seeds, jobs=args.jobs)
+        sweep = frequency_sweep(
+            base, seeds=seeds, jobs=args.jobs, progress=progress
+        )
     else:
-        sweep = size_sweep(base, seeds=seeds, jobs=args.jobs)
+        sweep = size_sweep(base, seeds=seeds, jobs=args.jobs, progress=progress)
     print(format_sweep_table(sweep))
     if args.obs:
         cells = sum(1 for p in sweep.points for r in p.results if r.obs)
@@ -364,6 +390,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="checked mode in every sweep cell (also REPRO_CHECK=1)",
     )
+    sweep_parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print a per-cell heartbeat to stderr as pool workers "
+        "finish (completion order; results stay in submission order)",
+    )
     sweep_parser.set_defaults(handler=_cmd_sweep)
 
     prop_parser = commands.add_parser(
@@ -418,6 +450,10 @@ def build_parser() -> argparse.ArgumentParser:
     from .sanitizer.cli import add_check_parser
 
     add_check_parser(commands)
+
+    from .prof.cli import add_prof_parser
+
+    add_prof_parser(commands)
     return parser
 
 

@@ -23,8 +23,8 @@ from __future__ import annotations
 
 import logging
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, Iterable, Sequence
 
 from .config import ExperimentConfig
 from .runner import ExperimentResult, run_experiment
@@ -108,19 +108,42 @@ class SweepExecutor:
         self.jobs = resolve_jobs(jobs)
 
     def map(
-        self, configs: Iterable[ExperimentConfig]
+        self,
+        configs: Iterable[ExperimentConfig],
+        progress: Callable[[int, int, ExperimentResult], None] | None = None,
     ) -> list[ExperimentResult]:
-        """Run every config; results come back in input order."""
+        """Run every config; results come back in input order.
+
+        ``progress`` is a per-cell heartbeat: called as
+        ``progress(index, total, result)`` with the cell's *submission*
+        index the moment that cell finishes — in completion order under
+        a pool, so a long sweep shows life as workers report in.  The
+        returned list is always in submission order regardless; the
+        callback only observes, so it cannot affect determinism.
+        """
         ordered: Sequence[ExperimentConfig] = list(configs)
         workers = min(self.jobs, len(ordered))
         if workers <= 1:
-            return [_run_one(config) for config in ordered]
+            results = []
+            for index, config in enumerate(ordered):
+                result = _run_one(config)
+                if progress is not None:
+                    progress(index, len(ordered), result)
+                results.append(result)
+            return results
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_run_one, ordered))
+            futures = [pool.submit(_run_one, config) for config in ordered]
+            if progress is not None:
+                index_of = {future: i for i, future in enumerate(futures)}
+                for future in as_completed(futures):
+                    progress(index_of[future], len(ordered), future.result())
+            return [future.result() for future in futures]
 
 
 def run_many(
-    configs: Iterable[ExperimentConfig], jobs: int | None = None
+    configs: Iterable[ExperimentConfig],
+    jobs: int | None = None,
+    progress: Callable[[int, int, ExperimentResult], None] | None = None,
 ) -> list[ExperimentResult]:
     """One-shot convenience wrapper around :class:`SweepExecutor`."""
-    return SweepExecutor(jobs).map(configs)
+    return SweepExecutor(jobs).map(configs, progress=progress)

@@ -109,7 +109,7 @@ def build_network(
 
 
 def run_experiment(
-    config: ExperimentConfig, obs=None, sanitizer=None
+    config: ExperimentConfig, obs=None, sanitizer=None, profiler=None
 ) -> tuple[ExperimentResult, ObservationLog]:
     """Run one full experiment and compute all metrics.
 
@@ -119,15 +119,22 @@ def run_experiment(
     set.  ``sanitizer`` overrides the checked-mode wiring the same way:
     pass a prepared :class:`~repro.sanitizer.runtime.SanitizerRuntime`
     (digest recording does this), or leave it to be built from the
-    protocol adapter's checker set when ``config.check`` is on.  Setup
-    (topology, links, nodes) and simulation are timed separately so
-    event-rate figures cover only the simulate phase.
+    protocol adapter's checker set when ``config.check`` is on.
+    ``profiler`` (a :class:`~repro.prof.runtime.ProfilerRuntime`)
+    claims the simulator's profiler slot, taps the trace stream for
+    epoch spans, and — combined with ``config.check`` — times each
+    invariant checker; it observes wall time only, so a profiled run is
+    bit-identical to a bare one.  Setup (topology, links, nodes) and
+    simulation are timed separately so event-rate figures cover only
+    the simulate phase.
     """
     setup_started = wall_clock()
     adapter = get_adapter(config.protocol)
     sim = Simulator(seed=config.seed)
     if obs is None:
         obs = Observability.from_config(config)
+    if profiler is not None:
+        obs = profiler.wrap_observability(obs)
     if sanitizer is None and config.check:
         from ..sanitizer.runtime import SanitizerRuntime
 
@@ -135,6 +142,7 @@ def run_experiment(
             adapter.invariant_checkers(),
             stride=config.check_stride,
             tracer=obs.tracer,
+            profiler=profiler,
         )
     network = build_network(config, sim, obs=obs)
     log = ObservationLog(config.n_nodes)
@@ -169,6 +177,8 @@ def run_experiment(
             tracer=obs.tracer,
         )
         engine.install()
+    if profiler is not None:
+        profiler.install(sim, config.n_nodes)
     wall_setup = wall_clock() - setup_started
     simulate_started = wall_clock()
     scheduler.start()

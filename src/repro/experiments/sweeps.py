@@ -62,15 +62,18 @@ def _run_grid(
     sweep: SweepResult,
     cells: list[tuple[float, Protocol, list[ExperimentConfig]]],
     jobs: int | None,
+    progress=None,
 ) -> SweepResult:
     """Dispatch every cell's configs through the parallel executor.
 
     The flat config list preserves grid order, and ``run_many`` returns
     results in submission order, so regrouping by cell is a plain slice
-    — identical output whatever the worker count.
+    — identical output whatever the worker count.  ``progress`` (see
+    :meth:`~repro.experiments.parallel.SweepExecutor.map`) fires once
+    per finished cell, in completion order.
     """
     flat = [config for _, _, configs in cells for config in configs]
-    results = run_many(flat, jobs=jobs)
+    results = run_many(flat, jobs=jobs, progress=progress)
     cursor = 0
     for x, protocol, configs in cells:
         chunk = tuple(results[cursor : cursor + len(configs)])
@@ -85,6 +88,7 @@ def frequency_sweep(
     protocols: tuple[Protocol, ...] = (Protocol.BITCOIN, Protocol.BITCOIN_NG),
     seeds: tuple[int, ...] = (0,),
     jobs: int | None = None,
+    progress=None,
 ) -> SweepResult:
     """Figure 8a: vary block (Bitcoin) / microblock (NG) frequency.
 
@@ -109,7 +113,7 @@ def frequency_sweep(
                 for seed in seeds
             ]
             cells.append((frequency, protocol, configs))
-    return _run_grid(sweep, cells, jobs)
+    return _run_grid(sweep, cells, jobs, progress=progress)
 
 
 def size_sweep(
@@ -120,6 +124,7 @@ def size_sweep(
     block_rate: float = 1.0 / 10.0,
     key_block_rate: float = 1.0 / 100.0,
     jobs: int | None = None,
+    progress=None,
 ) -> SweepResult:
     """Figure 8b: vary block / microblock size at high, fixed frequency."""
     base = base or ExperimentConfig()
@@ -138,7 +143,7 @@ def size_sweep(
                 for seed in seeds
             ]
             cells.append((float(size), protocol, configs))
-    return _run_grid(sweep, cells, jobs)
+    return _run_grid(sweep, cells, jobs, progress=progress)
 
 
 def log_spaced(low: float, high: float, count: int) -> list[float]:

@@ -11,24 +11,33 @@ One :class:`ObjectIdTable` is shared per :class:`~repro.net.network
 .Network` (i.e. per run).  Interning happens only at the receiver
 boundary — wire messages still carry raw ``bytes`` ids, so forged or
 replayed messages in tests keep working unchanged.
+
+The table is generic over its key type: the network's instance is an
+``ObjectIdTable[bytes]`` over object hashes, while offline tooling
+(``repro trace toptalkers``) reuses it to intern whatever node
+identifiers appear in a saved trace into dense array indices.
 """
 
 from __future__ import annotations
 
+from typing import Generic, Hashable, TypeVar
 
-class ObjectIdTable:
-    """Bijective ``bytes`` ↔ dense ``int`` mapping, append-only."""
+K = TypeVar("K", bound=Hashable)
+
+
+class ObjectIdTable(Generic[K]):
+    """Bijective key ↔ dense ``int`` mapping, append-only."""
 
     __slots__ = ("_index", "_ids")
 
     def __init__(self) -> None:
-        self._index: dict[bytes, int] = {}
-        self._ids: list[bytes] = []
+        self._index: dict[K, int] = {}
+        self._ids: list[K] = []
 
     def __len__(self) -> int:
         return len(self._ids)
 
-    def intern(self, obj_id: bytes) -> int:
+    def intern(self, obj_id: K) -> int:
         """The dense id for ``obj_id``, assigning the next one if new."""
         index = self._index
         iid = index.get(obj_id)
@@ -38,7 +47,7 @@ class ObjectIdTable:
             self._ids.append(obj_id)
         return iid
 
-    def lookup(self, obj_id: bytes) -> int | None:
+    def lookup(self, obj_id: K) -> int | None:
         """The dense id for ``obj_id`` if already interned, else None.
 
         Read-only probes (``knows``/``get_object``) use this so that
@@ -46,6 +55,6 @@ class ObjectIdTable:
         """
         return self._index.get(obj_id)
 
-    def obj_id(self, iid: int) -> bytes:
-        """The raw bytes id behind a dense id (for traces and wire)."""
+    def obj_id(self, iid: int) -> K:
+        """The raw key behind a dense id (for traces and wire)."""
         return self._ids[iid]

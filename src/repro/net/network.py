@@ -154,7 +154,7 @@ class Network:
         self.bytes_delivered = 0
         # One shared object-id interning table per run: every gossip
         # node attached to this network dedupes through it.
-        self.object_ids = ObjectIdTable()
+        self.object_ids: ObjectIdTable[bytes] = ObjectIdTable()
 
         # -- struct-of-arrays link core ---------------------------------
         # The CSR flat position of neighbor ``dst`` in ``src``'s row is
@@ -495,16 +495,17 @@ class Network:
 
         A link is busy while a booked bulk transfer has not finished
         serializing; its backlog in bytes is the remaining busy time
-        times its bandwidth.  Used by the periodic link sampler.
+        times its bandwidth.  Used by the periodic link sampler on
+        every sample tick, so it walks the flat edge-id arrays in one
+        lockstep ``zip`` — no edge-id indirection, no link objects.
         """
         busy_count = 0
         queued = 0.0
-        bw = self._bw
-        for eid, busy in enumerate(self._busy):
+        for busy, bandwidth in zip(self._busy, self._bw):
             remaining = busy - now
             if remaining > 0:
                 busy_count += 1
-                queued += remaining * bw[eid]
+                queued += remaining * bandwidth
         return busy_count, len(self._busy), queued
 
     def traffic_by_node(self) -> list[dict[str, int]]:
@@ -513,22 +514,21 @@ class Network:
         Sums each directed link's ``bytes_sent``/``messages_sent`` into
         its endpoints: ``*_out`` at the source, ``*_in`` at the
         destination.  "In" counts bytes *booked toward* a node — sent,
-        not necessarily delivered (churn can drop them in flight).
+        not necessarily delivered (churn can drop them in flight).  One
+        lockstep ``zip`` over the four parallel edge arrays: position
+        *is* the edge id, so no per-edge index arithmetic survives.
         """
         per_node = [
             {"bytes_out": 0, "bytes_in": 0, "messages_out": 0, "messages_in": 0}
             for _ in range(self.topology.n_nodes)
         ]
-        bytes_arr = self._bytes
-        msgs_arr = self._msgs
-        edge_dst = self._edge_dst
-        for eid, src in enumerate(self._edge_src):
-            count = bytes_arr[eid]
-            messages = msgs_arr[eid]
+        for src, dst, count, messages in zip(
+            self._edge_src, self._edge_dst, self._bytes, self._msgs
+        ):
             out = per_node[src]
             out["bytes_out"] += count
             out["messages_out"] += messages
-            into = per_node[edge_dst[eid]]
+            into = per_node[dst]
             into["bytes_in"] += count
             into["messages_in"] += messages
         return per_node

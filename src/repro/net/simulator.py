@@ -13,9 +13,30 @@ from __future__ import annotations
 
 import heapq
 import random
-from typing import Any, Callable
+from typing import Any, Callable, Protocol
 
+from ..clock import wall_clock
 from .events import Event, EventQueue
+
+
+class DispatchProfiler(Protocol):
+    """What the profiled dispatch loop needs from a profiler.
+
+    Structural typing keeps :mod:`repro.net` free of any import of the
+    profiling layer (:mod:`repro.prof` implements this protocol); the
+    simulator only ever hands over the event it just dispatched plus
+    wall-clock deltas, so a profiler cannot perturb the simulation.
+    """
+
+    def loop_started(self) -> None: ...
+
+    def loop_ended(self) -> None: ...
+
+    def record(
+        self, event: Event, pop_seconds: float, callback_seconds: float
+    ) -> None: ...
+
+    def record_probe(self, seconds: float) -> None: ...
 
 
 class Simulator:
@@ -27,6 +48,7 @@ class Simulator:
         self.rng = random.Random(seed)
         self._events_processed = 0
         self._probe: Callable[[], None] | None = None
+        self._prof: DispatchProfiler | None = None
 
     @property
     def now(self) -> float:
@@ -48,6 +70,20 @@ class Simulator:
         ``benchmarks/test_perf_regression.py``).
         """
         self._probe = probe
+
+    def set_profiler(self, prof: DispatchProfiler | None) -> None:
+        """Install (or clear) the hot-loop wall-time profiler.
+
+        Like :meth:`set_probe`, the profiler is a pure observer: it
+        receives each dispatched event and wall-clock deltas, never the
+        simulation RNG or queue, so profiled runs stay bit-identical to
+        bare runs — including ``events_processed``.  With a profiler
+        installed, :meth:`run` branches into a separate timed loop; the
+        bare loop is untouched, so the disabled path costs exactly one
+        ``None``-check per :meth:`run` call (bounded per-event in
+        ``benchmarks/test_perf_regression.py``).
+        """
+        self._prof = prof
 
     def schedule(
         self, delay: float, callback: Callable[..., Any], *args: Any
@@ -113,6 +149,10 @@ class Simulator:
         scheduling new events append to the same heap list, so holding
         the reference across iterations is safe.
         """
+        prof = self._prof
+        if prof is not None:
+            self._run_profiled(until, max_events, prof)
+            return
         heap = self._queue._heap
         heappop = heapq.heappop
         probe = self._probe
@@ -138,6 +178,60 @@ class Simulator:
                     probe()
         finally:
             self._events_processed += processed
+
+    def _run_profiled(
+        self,
+        until: float | None,
+        max_events: int | None,
+        prof: DispatchProfiler,
+    ) -> None:
+        """The dispatch loop with wall-time attribution around each event.
+
+        Mirrors :meth:`run` exactly — same pop order, same callback
+        invocation, same probe placement — with three extra wall-clock
+        reads per event (pop, callback, probe boundaries).  Keeping this
+        a separate loop means the bare path never pays for the reads,
+        and keeping the reads *here* (not in the profiler) means the
+        attribution excludes the profiler's own classification cost,
+        which lands in the loop residual instead.
+        """
+        heap = self._queue._heap
+        heappop = heapq.heappop
+        probe = self._probe
+        clock = wall_clock
+        record = prof.record
+        record_probe = prof.record_probe
+        processed = 0
+        prof.loop_started()
+        mark = clock()
+        try:
+            while heap and (max_events is None or processed < max_events):
+                time, _seq, event = heap[0]
+                if event.cancelled:
+                    heappop(heap)
+                    continue
+                if until is not None and time > until:
+                    self._now = until
+                    return
+                heappop(heap)
+                popped = clock()
+                self._now = time
+                args = event.args
+                if args:
+                    event.callback(*args)
+                else:
+                    event.callback()
+                done = clock()
+                record(event, popped - mark, done - popped)
+                processed += 1
+                if probe is not None:
+                    before = clock()
+                    probe()
+                    record_probe(clock() - before)
+                mark = clock()
+        finally:
+            self._events_processed += processed
+            prof.loop_ended()
 
     def exponential(self, rate: float) -> float:
         """Sample an exponential interval with the given rate (1/mean)."""

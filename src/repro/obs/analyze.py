@@ -97,12 +97,30 @@ class TraceSummary:
     peak_tips: int = 0
     faults: dict[str, int] = field(default_factory=dict)
     meta: dict = field(default_factory=dict)
+    # Epoch spans from the profiler (``prof_span`` records), when the
+    # trace was captured under ``repro prof`` / a ProfilerRuntime tap.
+    prof_spans: int = 0
+    prof_spans_closed: int = 0
+    span_duration_sum: float = 0.0
+    span_micros_sum: int = 0
 
     @property
     def queue_delay_mean(self) -> float:
         if not self.queue_delay_count:
             return 0.0
         return self.queue_delay_sum / self.queue_delay_count
+
+    @property
+    def span_duration_mean(self) -> float:
+        if not self.prof_spans_closed:
+            return 0.0
+        return self.span_duration_sum / self.prof_spans_closed
+
+    @property
+    def span_micros_mean(self) -> float:
+        if not self.prof_spans_closed:
+            return 0.0
+        return self.span_micros_sum / self.prof_spans_closed
 
     @property
     def total_bytes(self) -> int:
@@ -167,6 +185,12 @@ def summarize(records: Iterable[dict]) -> TraceSummary:
             )
         elif ev == "sample_forks":
             summary.peak_tips = max(summary.peak_tips, record.get("tips", 0))
+        elif ev == "prof_span":
+            summary.prof_spans += 1
+            if record.get("closed", True):
+                summary.prof_spans_closed += 1
+                summary.span_duration_sum += t - record.get("start", t)
+                summary.span_micros_sum += record.get("micros", 0)
         elif ev in FAULT_EVENTS:
             summary.faults[ev] = summary.faults.get(ev, 0) + 1
     summary.events = dict(sorted(events.items()))
@@ -188,8 +212,13 @@ def format_summary(summary: TraceSummary, name: str = "") -> str:
     lines.append(
         f"time span:           {summary.t_min:.1f} .. {summary.t_max:.1f} s"
     )
-    for ev, count in summary.events.items():
-        lines.append(f"  {ev + ':':<19}{count}")
+    if summary.events:
+        lines.append("event types:")
+        total_records = summary.records or 1
+        for ev, count in summary.events.items():
+            lines.append(
+                f"  {ev + ':':<19}{count:>8}  {count / total_records:>6.1%}"
+            )
     if summary.sends_by_kind:
         lines.append("traffic by kind:")
         for kind in sorted(summary.sends_by_kind):
@@ -215,6 +244,14 @@ def format_summary(summary: TraceSummary, name: str = "") -> str:
         lines.append(
             f"leader epochs:       {summary.epochs_started} started, "
             f"{summary.epochs_ended} ended"
+        )
+    if summary.prof_spans:
+        open_spans = summary.prof_spans - summary.prof_spans_closed
+        suffix = f", {open_spans} open at run end" if open_spans else ""
+        lines.append(
+            f"epoch spans:         {summary.prof_spans} profiled, "
+            f"mean {summary.span_duration_mean:.1f} s, "
+            f"mean {summary.span_micros_mean:.1f} microblocks{suffix}"
         )
     if summary.gossip_retries or summary.rejects or summary.drops:
         lines.append(
@@ -302,27 +339,47 @@ def format_timeline(
 
 
 def format_toptalkers(records: Iterable[dict], top: int = 10) -> str:
-    """Rank nodes by bytes booked onto their outgoing links."""
-    bytes_out: TallyCounter = TallyCounter()
-    msgs_out: TallyCounter = TallyCounter()
-    blocks_gen: TallyCounter = TallyCounter()
+    """Rank nodes by bytes booked onto their outgoing links.
+
+    Node identifiers are interned through an
+    :class:`~repro.net.interning.ObjectIdTable` into dense array
+    indices, so per-node tallies are list-indexed integer adds instead
+    of hash probes — the same layout trick the gossip hot path uses,
+    applied to a trace with millions of ``send`` records.
+    """
+    from ..net.interning import ObjectIdTable
+
+    node_ids: ObjectIdTable = ObjectIdTable()
+    bytes_out: list[int] = []
+    msgs_out: list[int] = []
+    blocks_gen: list[int] = []
     for record in records:
         ev = record["ev"]
         if ev == "send":
-            src = record.get("src")
-            bytes_out[src] += record.get("size", 0)
-            msgs_out[src] += 1
+            iid = node_ids.intern(record.get("src"))
+            if iid == len(bytes_out):
+                bytes_out.append(0)
+                msgs_out.append(0)
+                blocks_gen.append(0)
+            bytes_out[iid] += record.get("size", 0)
+            msgs_out[iid] += 1
         elif ev == "block_gen":
-            blocks_gen[record.get("miner")] += 1
-    if not bytes_out:
+            iid = node_ids.intern(record.get("miner"))
+            if iid == len(bytes_out):
+                bytes_out.append(0)
+                msgs_out.append(0)
+                blocks_gen.append(0)
+            blocks_gen[iid] += 1
+    if not any(msgs_out):
         return "(no traffic recorded)"
-    lines = [f"{'node':>6}  {'bytes out':>14}  {'msgs out':>10}  {'blocks':>6}"]
     ranked = sorted(
-        bytes_out.items(), key=lambda item: (-item[1], item[0])
+        (iid for iid in range(len(bytes_out)) if msgs_out[iid]),
+        key=lambda iid: (-bytes_out[iid], node_ids.obj_id(iid)),
     )[:top]
-    for node, total in ranked:
+    lines = [f"{'node':>6}  {'bytes out':>14}  {'msgs out':>10}  {'blocks':>6}"]
+    for iid in ranked:
         lines.append(
-            f"{node:>6}  {total:>14,}  {msgs_out[node]:>10}  "
-            f"{blocks_gen.get(node, 0):>6}"
+            f"{node_ids.obj_id(iid):>6}  {bytes_out[iid]:>14,}  "
+            f"{msgs_out[iid]:>10}  {blocks_gen[iid]:>6}"
         )
     return "\n".join(lines)

@@ -50,7 +50,13 @@ class PeriodicSampler:
 
 
 class LinkSampler(PeriodicSampler):
-    """Busy fraction and queued bytes across every directed link."""
+    """Busy fraction and queued bytes across every directed link.
+
+    Reads :meth:`~repro.net.network.Network.link_utilization`, which
+    walks the array core's flat edge-id arrays directly — a sampled
+    1000-node run never materializes per-link ``LinkView`` objects on
+    the sampling path.
+    """
 
     def __init__(
         self,

@@ -37,6 +37,8 @@ Record vocabulary (schema version 1):
                          message, snapshot) — checked (``--check``) runs only
 ``state_digest``         a sanitizer digest snapshot was captured (index =
                          events processed, nodes covered)
+``prof_span``            a profiled NG leader epoch closed (leader, key_block,
+                         start, micros, closed) — profiled runs only
 ``trace_end``            final counters, closes the file
 =======================  ===================================================
 
@@ -63,10 +65,15 @@ class JsonlSink:
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self._file: IO[str] | None = None
+        self._closed = False
         self.records_written = 0
 
     def write(self, record: dict) -> None:
         if self._file is None:
+            if self._closed:
+                # Lazily reopening in "w" mode would truncate a finished
+                # trace; a write after trace_end is always a caller bug.
+                raise TraceError(f"write to closed trace {self.path}")
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._file = self.path.open("w", encoding="utf-8")
         self._file.write(json.dumps(record, separators=(",", ":")))
@@ -74,6 +81,7 @@ class JsonlSink:
         self.records_written += 1
 
     def close(self) -> None:
+        self._closed = True
         if self._file is not None:
             self._file.close()
             self._file = None

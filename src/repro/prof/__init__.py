@@ -1,0 +1,99 @@
+"""Deterministic hot-path profiling: phase attribution and epoch spans.
+
+The measurement layer for performance work on the simulation stack.
+See ``docs/profiling.md`` for usage; the short version::
+
+    from repro.experiments import ExperimentConfig
+    from repro.prof import profile_experiment
+
+    result, log, profile = profile_experiment(ExperimentConfig())
+    print(profile.phases["heappop"].seconds)
+
+Or from the shell::
+
+    python -m repro prof run --protocol bitcoin-ng --nodes 1000 --out prof/
+    python -m repro prof report prof/<slug>.prof.json
+    python -m repro prof diff before.prof.json after.prof.json
+
+Profiling never perturbs results: profiled runs are bit-identical to
+bare runs (``tests/test_determinism.py``) and the disabled path is one
+``None``-check per simulator event (``benchmarks/test_perf_regression``).
+"""
+
+from .profile import (
+    PHASE_DISPATCH,
+    PHASE_HEAPPOP,
+    PHASE_SANITIZE,
+    PROFILE_VERSION,
+    EpochSpan,
+    PhaseStat,
+    Profile,
+    ProfileError,
+    load_profile,
+    to_folded,
+)
+from .report import (
+    DEFAULT_MIN_DELTA,
+    DEFAULT_THRESHOLD,
+    compare_profiles,
+    format_diff,
+    format_report,
+)
+from .runtime import ProfilerRuntime, ProfObservability, TapTracer
+
+__all__ = [
+    "DEFAULT_MIN_DELTA",
+    "DEFAULT_THRESHOLD",
+    "EpochSpan",
+    "PHASE_DISPATCH",
+    "PHASE_HEAPPOP",
+    "PHASE_SANITIZE",
+    "PROFILE_VERSION",
+    "PhaseStat",
+    "Profile",
+    "ProfileError",
+    "ProfilerRuntime",
+    "ProfObservability",
+    "TapTracer",
+    "compare_profiles",
+    "format_diff",
+    "format_report",
+    "load_profile",
+    "profile_experiment",
+    "to_folded",
+]
+
+
+def profile_experiment(config, profiler: ProfilerRuntime | None = None):
+    """Run one profiled experiment: ``(result, log, profile)``.
+
+    The convenience entry point the CLI, benchmarks, and tests share.
+    ``profiler`` may be injected pre-built (to wire extra taps); by
+    default a fresh :class:`ProfilerRuntime` is used.  The experiment
+    itself is bit-identical to an unprofiled ``run_experiment(config)``.
+    """
+    from ..experiments.runner import run_experiment
+    from ..obs.facade import config_slug
+    from ..protocols import protocol_name
+
+    if profiler is None:
+        profiler = ProfilerRuntime()
+    result, log = run_experiment(config, profiler=profiler)
+    meta = {
+        "slug": config_slug(config),
+        "protocol": protocol_name(config.protocol),
+        "n_nodes": config.n_nodes,
+        "seed": config.seed,
+        "block_rate": config.block_rate,
+        "block_size_bytes": config.block_size_bytes,
+        "key_block_rate": config.key_block_rate,
+        "check": config.check,
+    }
+    profile = profiler.build_profile(
+        meta=meta,
+        wall_setup=result.wall_setup_seconds,
+        wall_simulate=result.wall_simulate_seconds,
+        events=result.events_processed,
+        end_time=config.duration + config.cooldown,
+    )
+    return result, log, profile

@@ -1,0 +1,200 @@
+"""The ``repro prof`` subcommands: profile, report, compare.
+
+``repro prof run`` profiles one experiment and writes two artifacts
+into ``--out``: ``<slug>.prof.json`` (the schema-versioned profile) and
+``<slug>.folded`` (folded stacks for flamegraph renderers), then prints
+the attribution report.  ``repro prof report`` re-renders a saved
+profile; ``repro prof diff`` compares two and flags phase-level
+regressions (exit 1 when any phase got both ``--threshold`` relatively
+and ``--min-delta`` seconds absolutely slower).
+
+Exit codes: 0 ok, 1 regression flagged (diff only), 2 usage/input error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    from ..protocols import Protocol
+
+    parser.add_argument(
+        "--protocol",
+        choices=sorted(protocol.value for protocol in Protocol),
+        default="bitcoin-ng",
+    )
+    parser.add_argument("--nodes", type=int, default=60, help="network size")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--blocks", type=int, default=60, help="target blocks per run"
+    )
+    parser.add_argument(
+        "--key-blocks",
+        type=int,
+        default=None,
+        metavar="N",
+        help="target key blocks per run (caps duration at scale)",
+    )
+    parser.add_argument("--block-rate", type=float, default=0.2)
+    parser.add_argument("--block-size", type=int, default=8_000)
+    parser.add_argument("--key-block-rate", type=float, default=0.02)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="profile a checked run too: per-INV1xx-checker attribution",
+    )
+    parser.add_argument(
+        "--stride",
+        type=int,
+        default=64,
+        help="sanitizer sweep stride when --check is on",
+    )
+    parser.add_argument(
+        "--obs",
+        metavar="DIR",
+        default=None,
+        help="also capture a full observability trace into DIR; closed "
+        "epoch spans are emitted into it as prof_span records",
+    )
+
+
+def _config_from_args(args: argparse.Namespace):
+    from ..experiments import ExperimentConfig
+
+    config = ExperimentConfig(
+        protocol=args.protocol,
+        n_nodes=args.nodes,
+        seed=args.seed,
+        target_blocks=args.blocks,
+        block_rate=args.block_rate,
+        block_size_bytes=args.block_size,
+        key_block_rate=args.key_block_rate,
+        check=args.check,
+        check_stride=args.stride,
+        obs_dir=args.obs,
+    )
+    if args.key_blocks is not None:
+        config = config.with_(target_key_blocks=args.key_blocks)
+    return config
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from . import profile_experiment, to_folded
+    from .report import format_report
+
+    config = _config_from_args(args)
+    result, _log, profile = profile_experiment(config)
+    out_dir = Path(args.out)
+    slug = profile.meta.get("slug", "run")
+    profile_path = profile.save(out_dir / f"{slug}.prof.json")
+    folded_path = out_dir / f"{slug}.folded"
+    folded_path.write_text(to_folded(profile), encoding="utf-8")
+    print(format_report(profile, top=args.top))
+    print()
+    print(f"profile written:     {profile_path}")
+    print(f"folded stacks:       {folded_path}")
+    if config.check and result.invariant_violations:
+        print(
+            f"invariant violations: {result.invariant_violations}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .profile import ProfileError, load_profile
+    from .report import format_report
+
+    try:
+        profile = load_profile(args.file)
+    except ProfileError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_report(profile, top=args.top))
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    from .profile import ProfileError, load_profile
+    from .report import compare_profiles, format_diff
+
+    try:
+        profile_a = load_profile(args.file_a)
+        profile_b = load_profile(args.file_b)
+    except ProfileError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        format_diff(
+            profile_a,
+            profile_b,
+            label_a=args.file_a,
+            label_b=args.file_b,
+            threshold=args.threshold,
+            min_delta=args.min_delta,
+        )
+    )
+    rows = compare_profiles(
+        profile_a, profile_b, threshold=args.threshold, min_delta=args.min_delta
+    )
+    return 1 if any(row["regression"] for row in rows) else 0
+
+
+def add_prof_parser(commands: argparse._SubParsersAction) -> None:
+    """Register the ``prof`` command group on the main CLI."""
+    from .report import DEFAULT_MIN_DELTA, DEFAULT_THRESHOLD
+
+    prof_parser = commands.add_parser(
+        "prof",
+        help="deterministic hot-path profiling: attribution and flamegraphs",
+    )
+    prof_commands = prof_parser.add_subparsers(
+        dest="prof_command", required=True
+    )
+
+    run_parser = prof_commands.add_parser(
+        "run", help="profile one experiment and write profile + folded stacks"
+    )
+    _add_run_options(run_parser)
+    run_parser.add_argument(
+        "--out",
+        metavar="DIR",
+        default="prof-out",
+        help="directory for <slug>.prof.json and <slug>.folded",
+    )
+    run_parser.add_argument(
+        "--top", type=int, default=20, help="rows per report table"
+    )
+    run_parser.set_defaults(handler=cmd_run)
+
+    report_parser = prof_commands.add_parser(
+        "report", help="render the attribution table of a saved profile"
+    )
+    report_parser.add_argument("file", help="a .prof.json file")
+    report_parser.add_argument(
+        "--top", type=int, default=20, help="rows per report table"
+    )
+    report_parser.set_defaults(handler=cmd_report)
+
+    diff_parser = prof_commands.add_parser(
+        "diff", help="compare two profiles and flag phase regressions"
+    )
+    diff_parser.add_argument("file_a", help="baseline .prof.json")
+    diff_parser.add_argument("file_b", help="candidate .prof.json")
+    diff_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="relative slowdown that flags a phase (default 0.25 = +25%%)",
+    )
+    diff_parser.add_argument(
+        "--min-delta",
+        type=float,
+        default=DEFAULT_MIN_DELTA,
+        help="absolute slowdown floor in seconds (default 0.010)",
+    )
+    diff_parser.set_defaults(handler=cmd_diff)

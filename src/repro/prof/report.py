@@ -1,0 +1,199 @@
+"""Rendering profiles: the attribution table and the regression diff.
+
+Pure functions from :class:`~repro.prof.profile.Profile` objects to
+text, so saved ``.prof.json`` files can be reported and compared long
+after (and far from) the run that produced them.  Output formats are
+pinned by golden tests in ``tests/test_prof.py`` — change them there
+first.
+"""
+
+from __future__ import annotations
+
+from .profile import PHASE_SANITIZE, Profile
+
+# A diff flags a phase when it got BOTH this much relatively slower and
+# this much absolutely slower — the absolute floor keeps microsecond
+# phases from screaming on timer noise.
+DEFAULT_THRESHOLD = 0.25
+DEFAULT_MIN_DELTA = 0.010
+
+
+def _pct(seconds: float, total: float) -> str:
+    if total <= 0:
+        return "   -  "
+    return f"{seconds / total:6.1%}"
+
+
+def format_report(profile: Profile, top: int = 20) -> str:
+    """The attribution table: top phases, checkers, nodes, epoch stats."""
+    lines: list[str] = []
+    name = profile.meta.get("slug", "run")
+    lines.append(f"== profile: {name} ==")
+    run_meta = {
+        k: v
+        for k, v in sorted(profile.meta.items())
+        if k not in ("slug",)
+    }
+    if run_meta:
+        meta = ", ".join(f"{k}={v}" for k, v in run_meta.items())
+        lines.append(f"run:                 {meta}")
+    lines.append(f"events processed:    {profile.events_processed:,}")
+    lines.append(f"wall setup:          {profile.wall_setup_seconds:.3f} s")
+    lines.append(f"wall simulate:       {profile.wall_simulate_seconds:.3f} s")
+    lines.append(
+        f"attributed:          {profile.attributed_seconds:.3f} s "
+        f"({profile.coverage:.1%} of simulate wall)"
+    )
+    total = profile.wall_simulate_seconds
+    if profile.phases:
+        lines.append("")
+        lines.append(
+            f"{'phase':<32}{'seconds':>9}  {'%':>6}  {'calls':>10}  "
+            f"{'us/call':>8}"
+        )
+        ranked = profile.top_phases()
+        shown = ranked[:top]
+        for phase, stat in shown:
+            lines.append(
+                f"{phase:<32}{stat.seconds:>9.3f}  {_pct(stat.seconds, total)}"
+                f"  {stat.calls:>10,}  {stat.us_per_call:>8.1f}"
+            )
+        hidden = ranked[top:]
+        if hidden:
+            hidden_seconds = sum(stat.seconds for _, stat in hidden)
+            lines.append(
+                f"({len(hidden)} more phase"
+                f"{'s' if len(hidden) != 1 else ''} totalling "
+                f"{hidden_seconds:.3f} s)"
+            )
+    if profile.checkers:
+        lines.append("")
+        lines.append(
+            f"{'sanitizer checker':<32}{'seconds':>9}  {'%':>6}  {'calls':>10}"
+        )
+        ranked_checkers = sorted(
+            profile.checkers.items(),
+            key=lambda item: (-item[1].seconds, item[0]),
+        )
+        for code, stat in ranked_checkers[:top]:
+            lines.append(
+                f"{code:<32}{stat.seconds:>9.3f}  {_pct(stat.seconds, total)}"
+                f"  {stat.calls:>10,}"
+            )
+        sweep = profile.phases.get(PHASE_SANITIZE)
+        if sweep is not None:
+            checker_total = sum(
+                stat.seconds for stat in profile.checkers.values()
+            )
+            lines.append(
+                f"{'(sweep machinery)':<32}"
+                f"{max(sweep.seconds - checker_total, 0.0):>9.3f}  "
+                f"{_pct(max(sweep.seconds - checker_total, 0.0), total)}"
+            )
+    hot_nodes = profile.top_nodes(top=5)
+    if hot_nodes:
+        lines.append("")
+        lines.append(f"{'hottest nodes':<32}{'seconds':>9}  {'%':>6}  {'events':>10}")
+        for node, calls, seconds in hot_nodes:
+            lines.append(
+                f"{'node ' + str(node):<32}{seconds:>9.3f}  "
+                f"{_pct(seconds, total)}  {calls:>10,}"
+            )
+    if profile.spans:
+        closed = [span for span in profile.spans if span.closed]
+        open_count = len(profile.spans) - len(closed)
+        mean_duration = (
+            sum(span.duration for span in closed) / len(closed)
+            if closed
+            else 0.0
+        )
+        mean_micros = (
+            sum(span.micros for span in closed) / len(closed)
+            if closed
+            else 0.0
+        )
+        lines.append("")
+        suffix = f" ({open_count} open at run end)" if open_count else ""
+        lines.append(
+            f"epochs:              {len(profile.spans)} spans, "
+            f"mean {mean_duration:.1f} s, "
+            f"mean {mean_micros:.1f} microblocks{suffix}"
+        )
+    return "\n".join(lines)
+
+
+def compare_profiles(
+    a: Profile,
+    b: Profile,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_delta: float = DEFAULT_MIN_DELTA,
+) -> list[dict]:
+    """Per-phase comparison rows, sorted by regression size.
+
+    Each row: ``{"phase", "a", "b", "delta", "ratio", "regression"}``.
+    A phase regresses when it is both ``threshold`` relatively and
+    ``min_delta`` seconds absolutely slower in ``b``.
+    """
+    names = set(a.phases) | set(b.phases)
+    rows = []
+    for name in names:
+        sec_a = a.phases[name].seconds if name in a.phases else 0.0
+        sec_b = b.phases[name].seconds if name in b.phases else 0.0
+        delta = sec_b - sec_a
+        ratio = sec_b / sec_a if sec_a > 0 else float("inf")
+        rows.append(
+            {
+                "phase": name,
+                "a": sec_a,
+                "b": sec_b,
+                "delta": delta,
+                "ratio": ratio,
+                "regression": delta >= min_delta
+                and sec_b > sec_a * (1.0 + threshold),
+            }
+        )
+    rows.sort(key=lambda row: (-row["delta"], row["phase"]))
+    return rows
+
+
+def format_diff(
+    a: Profile,
+    b: Profile,
+    label_a: str = "A",
+    label_b: str = "B",
+    threshold: float = DEFAULT_THRESHOLD,
+    min_delta: float = DEFAULT_MIN_DELTA,
+) -> str:
+    """The phase-level diff table, regressions flagged with ``***``."""
+    rows = compare_profiles(a, b, threshold=threshold, min_delta=min_delta)
+    lines = ["== profile diff =="]
+    lines.append(
+        f"A: {label_a}  "
+        f"(simulate {a.wall_simulate_seconds:.3f} s, "
+        f"{a.events_processed:,} events)"
+    )
+    lines.append(
+        f"B: {label_b}  "
+        f"(simulate {b.wall_simulate_seconds:.3f} s, "
+        f"{b.events_processed:,} events)"
+    )
+    lines.append("")
+    lines.append(
+        f"{'phase':<32}{'A sec':>9}  {'B sec':>9}  {'delta':>9}  {'ratio':>7}"
+    )
+    for row in rows:
+        ratio = (
+            f"{row['ratio']:.2f}x" if row["ratio"] != float("inf") else "new"
+        )
+        flag = "  ***" if row["regression"] else ""
+        lines.append(
+            f"{row['phase']:<32}{row['a']:>9.3f}  {row['b']:>9.3f}  "
+            f"{row['delta']:>+9.3f}  {ratio:>7}{flag}"
+        )
+    flagged = sum(1 for row in rows if row["regression"])
+    lines.append("")
+    lines.append(
+        f"flagged {flagged} regression{'s' if flagged != 1 else ''} "
+        f"(>= +{threshold:.0%} and >= +{min_delta:.3f} s)"
+    )
+    return "\n".join(lines)

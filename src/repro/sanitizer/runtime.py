@@ -37,10 +37,16 @@ class SanitizerRuntime:
         stride: int = 64,
         tracer: object | None = None,
         digest_stride: int = 0,
+        profiler: object | None = None,
     ) -> None:
         self.checkers = list(checkers)
         self.stride = max(1, int(stride))
         self.tracer = tracer
+        # A repro.prof ProfilerRuntime (or None): when set, sweeps time
+        # each checker call with wall_clock and attribute the seconds
+        # per invariant code.  Call order, violation recording, and
+        # everything the simulation can observe are unchanged.
+        self.profiler = profiler
         self.digest_stride = max(0, int(digest_stride))
         self.violations: list[ViolationRecord] = []
         self.digests: list[DigestSnapshot] = []
@@ -96,6 +102,9 @@ class SanitizerRuntime:
     def _sweep(self) -> None:
         if not self.checkers or self._sim is None:
             return
+        if self.profiler is not None:
+            self._sweep_profiled()
+            return
         now = self._sim.now  # type: ignore[attr-defined]
         self.sweeps += 1
         for index, node in enumerate(self._nodes):
@@ -116,6 +125,46 @@ class SanitizerRuntime:
                         self._record(violation)
             for checker in self.checkers:
                 for violation in checker.check_state(node, node_id, now):
+                    self._record(violation)
+
+    def _sweep_profiled(self) -> None:
+        """The sweep with per-checker wall-time attribution.
+
+        A verbatim mirror of :meth:`_sweep` — same node order, same
+        checker order, same violation recording — with each checker
+        call bracketed by :func:`~repro.clock.wall_clock` reads and the
+        delta fed to ``profiler.record_checker`` keyed by the checker's
+        invariant code.  Checkers return eager lists, so timing the
+        call captures the whole verification cost.  Kept separate so
+        non-profiled checked runs never pay the clock reads.
+        """
+        from ..clock import wall_clock
+
+        record_checker = self.profiler.record_checker  # type: ignore[attr-defined]
+        now = self._sim.now  # type: ignore[attr-defined]
+        self.sweeps += 1
+        for index, node in enumerate(self._nodes):
+            node_id = self._node_ids[index]
+            seen = self._seen_blocks[index]
+            chain = chain_of(node)
+            cursor = chain.tip_record  # type: ignore[attr-defined]
+            fresh = []
+            while cursor is not None and cursor.hash not in seen:
+                fresh.append(cursor)
+                cursor = chain.get(cursor.parent_hash)  # type: ignore[attr-defined]
+            for record in reversed(fresh):
+                seen.add(record.hash)
+                for checker in self.checkers:
+                    started = wall_clock()
+                    violations = checker.check_block(node, node_id, record, now)
+                    record_checker(checker.code, wall_clock() - started)
+                    for violation in violations:
+                        self._record(violation)
+            for checker in self.checkers:
+                started = wall_clock()
+                violations = checker.check_state(node, node_id, now)
+                record_checker(checker.code, wall_clock() - started)
+                for violation in violations:
                     self._record(violation)
 
     def _record(self, violation: ViolationRecord) -> None:

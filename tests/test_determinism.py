@@ -105,6 +105,50 @@ def test_checked_run_bit_identical_to_bare_run():
         assert checked_result.invariant_violations == 0
 
 
+# -- profiler ---------------------------------------------------------------
+
+
+def test_profiled_run_bit_identical_to_bare_run():
+    """Profiling must measure, never perturb.
+
+    The profiled dispatch loop only reads the wall clock around work the
+    bare loop already does — no events scheduled, no RNG draws — so a
+    profiled run reproduces the bare run exactly, including
+    ``events_processed``.
+    """
+    from repro.prof import profile_experiment
+
+    for protocol in (Protocol.BITCOIN, Protocol.BITCOIN_NG, Protocol.GHOST):
+        config = CONFIG.with_(protocol=protocol)
+        bare_result, bare_log = run_experiment(config)
+        prof_result, prof_log, profile = profile_experiment(config)
+        assert _fingerprint(prof_log) == _fingerprint(bare_log)
+        assert prof_result.as_row() == bare_result.as_row()
+        assert prof_result.events_processed == bare_result.events_processed
+        assert profile.events_processed == bare_result.events_processed
+        # The loop attributes essentially all of its own wall time.
+        assert profile.phases
+        assert profile.attributed_seconds > 0
+
+
+def test_profiled_checked_run_bit_identical_to_bare_run():
+    """Profiling composes with --check without disturbing either."""
+    from repro.prof import profile_experiment
+
+    config = CONFIG.with_(protocol=Protocol.BITCOIN_NG)
+    bare_result, bare_log = run_experiment(config)
+    prof_result, prof_log, profile = profile_experiment(
+        config.with_(check=True, check_stride=16)
+    )
+    assert _fingerprint(prof_log) == _fingerprint(bare_log)
+    assert prof_result.as_row() == bare_result.as_row()
+    assert prof_result.events_processed == bare_result.events_processed
+    assert prof_result.invariant_violations == 0
+    # Per-checker attribution was recorded for every registered checker.
+    assert profile.checkers
+    assert all(stat.calls > 0 for stat in profile.checkers.values())
+
+
 # -- parallel dispatch ------------------------------------------------------
 
 PARALLEL_BASE = ExperimentConfig(
@@ -132,6 +176,29 @@ def test_parallel_executor_bit_identical_to_serial():
     serial = SweepExecutor(jobs=1).map(configs)
     for workers in (2, 4):
         assert SweepExecutor(jobs=workers).map(configs) == serial
+
+
+def test_progress_callback_does_not_perturb_results():
+    """Per-cell heartbeats observe completions without changing them.
+
+    The callback fires in completion order (nondeterministic under a
+    pool) but sees every cell exactly once, and the returned results
+    stay in submission order, equal to the quiet run.
+    """
+    configs = [
+        PARALLEL_BASE.with_(protocol=Protocol.BITCOIN_NG, seed=seed)
+        for seed in (0, 1, 2, 3)
+    ]
+    quiet = SweepExecutor(jobs=2).map(configs)
+    for workers in (1, 2):
+        seen = []
+        noisy = SweepExecutor(jobs=workers).map(
+            configs, progress=lambda i, n, r: seen.append((i, n, r))
+        )
+        assert noisy == quiet
+        assert sorted(i for i, _, _ in seen) == list(range(len(configs)))
+        assert all(n == len(configs) for _, n, _ in seen)
+        assert {i: r for i, _, r in seen} == dict(enumerate(noisy))
 
 
 def test_parallel_sweep_matches_serial_sweep():
