@@ -9,7 +9,7 @@ at the optimum.  Full-scale sweeps live in benchmarks/.
 Run:  python examples/frequency_tradeoff.py
 """
 
-from repro.experiments import (
+from repro.api import (
     ExperimentConfig,
     Protocol,
     format_series,

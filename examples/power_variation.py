@@ -13,18 +13,18 @@ two-protocol simulation with a 75% power drop mid-run.
 Run:  python examples/power_variation.py
 """
 
-from repro.experiments import (
+from repro.api import (
     ExperimentConfig,
     PowerEvent,
     Protocol,
+    build_network,
+    get_adapter,
     run_power_drop,
     simulate_difficulty_dynamics,
 )
-from repro.experiments.runner import build_network
 from repro.metrics import ObservationLog
 from repro.mining.power import exponential_shares
 from repro.net.simulator import Simulator
-from repro.protocols import get_adapter
 
 
 def difficulty_control_loop() -> None:

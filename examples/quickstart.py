@@ -8,7 +8,7 @@ the six evaluation metrics from Section 6 of the paper.
 Run:  python examples/quickstart.py
 """
 
-from repro.experiments import (
+from repro.api import (
     ExperimentConfig,
     Protocol,
     constant_throughput_block_size,

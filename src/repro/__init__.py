@@ -46,10 +46,15 @@ Package map
     Byte-exact block codecs and a crash-recovering block store.
 ``repro.cli``
     The ``python -m repro`` command line.
+``repro.api``
+    The stable public facade: one import surface re-exporting the
+    supported names (configs, runner, sweeps, adapter registry,
+    sanitizer, profiler).  Scripts and notebooks should import from
+    here; internal module layout may shift, these names will not.
 
 Quickstart
 ----------
->>> from repro.experiments import ExperimentConfig, Protocol, run_experiment
+>>> from repro.api import ExperimentConfig, Protocol, run_experiment
 >>> config = ExperimentConfig(protocol=Protocol.BITCOIN_NG, n_nodes=50,
 ...                           block_rate=0.1, block_size_bytes=20_000,
 ...                           target_blocks=40)
@@ -62,6 +67,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "analysis",
+    "api",
     "attacks",
     "bitcoin",
     "core",

@@ -1,0 +1,103 @@
+"""repro.api — the stable public facade.
+
+One import surface for everything a script, notebook, or downstream
+package should need.  Internal module layout may shift between
+releases; the names re-exported here will not.  ``examples/`` imports
+exclusively from this module.
+
+Groups
+------
+Experiments
+    :class:`ExperimentConfig`, :class:`Protocol`, :func:`run_experiment`,
+    :class:`ExperimentResult`, the frequency/size sweeps, and
+    :func:`constant_throughput_block_size`.
+Instrumentation
+    :class:`RunInstrumentation` — the one options object for checked
+    (``--check``), traced (``--obs``), and fault-injected
+    (``--scenario``) runs; shared by ``repro run``, ``repro sweep``,
+    and sweep workers.
+Protocol adapters
+    :class:`ProtocolAdapter` plus the registry
+    (:func:`register_adapter` / :func:`unregister_adapter` /
+    :func:`get_adapter` / :func:`registered_protocols`) — implement and
+    register an adapter to plug a new protocol into every experiment.
+Sanitizer
+    :class:`SanitizerRuntime` and the per-protocol checker factories
+    (:func:`ng_checkers`, :func:`chain_checkers`, :func:`ghost_checkers`),
+    each accepting ``mode="incremental" | "full"``.
+Profiler
+    :class:`ProfilerRuntime` and :func:`profile_experiment`.
+
+Quickstart
+----------
+>>> from repro.api import ExperimentConfig, Protocol, run_experiment
+>>> config = ExperimentConfig(protocol=Protocol.BITCOIN_NG, n_nodes=50,
+...                           block_rate=0.1, block_size_bytes=20_000,
+...                           target_blocks=40)
+>>> result, log = run_experiment(config)
+>>> 0 <= result.mining_power_utilization <= 1
+True
+"""
+
+from .experiments import (
+    ExperimentConfig,
+    ExperimentResult,
+    PowerEvent,
+    Protocol,
+    RunInstrumentation,
+    SweepPoint,
+    SweepResult,
+    build_network,
+    constant_throughput_block_size,
+    format_series,
+    format_sweep_table,
+    frequency_sweep,
+    run_experiment,
+    run_power_drop,
+    simulate_difficulty_dynamics,
+    size_sweep,
+)
+from .prof import ProfilerRuntime, profile_experiment
+from .protocols import (
+    ProtocolAdapter,
+    get_adapter,
+    register_adapter,
+    registered_protocols,
+    unregister_adapter,
+)
+from .sanitizer import (
+    SanitizerRuntime,
+    chain_checkers,
+    ghost_checkers,
+    ng_checkers,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "PowerEvent",
+    "ProfilerRuntime",
+    "Protocol",
+    "ProtocolAdapter",
+    "RunInstrumentation",
+    "SanitizerRuntime",
+    "SweepPoint",
+    "SweepResult",
+    "build_network",
+    "chain_checkers",
+    "constant_throughput_block_size",
+    "format_series",
+    "format_sweep_table",
+    "frequency_sweep",
+    "get_adapter",
+    "ghost_checkers",
+    "ng_checkers",
+    "profile_experiment",
+    "register_adapter",
+    "registered_protocols",
+    "run_experiment",
+    "run_power_drop",
+    "simulate_difficulty_dynamics",
+    "size_sweep",
+    "unregister_adapter",
+]

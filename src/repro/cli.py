@@ -15,7 +15,9 @@ Examples::
     python -m repro lint src/ --json
     python -m repro lint --explain NG301
     python -m repro run --protocol bitcoin-ng --check
-    python -m repro check diverge --protocol bitcoin-ng --nodes 30
+    python -m repro run --protocol bitcoin-ng --check=full
+    python -m repro sweep frequency --check=audit
+    python -m repro check diverge --protocol bitcoin-ng --nodes 30 --check
     python -m repro check record --out run.digests.jsonl
     python -m repro prof run --protocol bitcoin-ng --nodes 1000 --out prof/
     python -m repro prof report prof/bitcoin-ng-f0.2-b8000-seed0.prof.json
@@ -32,15 +34,19 @@ import sys
 from .experiments import (
     ExperimentConfig,
     Protocol,
+    RunInstrumentation,
     format_propagation_table,
     format_sweep_table,
     frequency_sweep,
     propagation_study,
+    resolve_check_mode,
     run_experiment,
     size_sweep,
 )
 
 _PROTOCOLS = {protocol.value: protocol for protocol in Protocol}
+
+_CHECK_MODES = ("incremental", "full", "audit")
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -51,16 +57,25 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _check_requested(args: argparse.Namespace) -> bool:
-    """Checked mode: the --check flag, or REPRO_CHECK=1 in the environment.
+def _check_mode_requested(args: argparse.Namespace) -> str | None:
+    """The requested check mode: --check[=MODE], or REPRO_CHECK.
 
     This is the single place the environment toggle is read (the CLI is
     a config entry point; see lint rule NG202) — it flows everywhere
-    else as ``config.check``.
+    else as ``config.check``/``config.check_mode``.  ``REPRO_CHECK``
+    accepts a mode name (``incremental``/``full``/``audit``) or any
+    other truthy value for the default incremental mode.
     """
-    if getattr(args, "check", False):
-        return True
-    return os.environ.get("REPRO_CHECK", "") not in ("", "0")
+    return resolve_check_mode(
+        getattr(args, "check", None), os.environ.get("REPRO_CHECK", "")
+    )
+
+
+def _instrumentation(args: argparse.Namespace) -> RunInstrumentation:
+    """Parse the shared --check/--obs/--scenario surface once."""
+    return RunInstrumentation.from_args(
+        args, check_mode=_check_mode_requested(args)
+    )
 
 
 def _base_config(args: argparse.Namespace) -> ExperimentConfig:
@@ -68,29 +83,15 @@ def _base_config(args: argparse.Namespace) -> ExperimentConfig:
         n_nodes=args.nodes,
         seed=args.seed,
         target_blocks=args.blocks,
-        check=_check_requested(args),
     )
 
 
-def _load_scenario_arg(path: str | None) -> dict | None:
-    if path is None:
-        return None
-    from .scenarios import ScenarioError, load_scenario
-
-    try:
-        return load_scenario(path)
-    except ScenarioError as exc:
-        raise SystemExit(f"error: {exc}")
-
-
 def _cmd_run(args: argparse.Namespace) -> int:
-    config = _base_config(args).with_(
+    config = _instrumentation(args).apply(_base_config(args)).with_(
         protocol=_PROTOCOLS[args.protocol],
         block_rate=args.block_rate,
         block_size_bytes=args.block_size,
         key_block_rate=args.key_block_rate,
-        obs_dir=args.obs,
-        scenario=_load_scenario_arg(args.scenario),
     )
     if args.key_blocks is not None:
         config = config.with_(target_key_blocks=args.key_blocks)
@@ -133,7 +134,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             payload["scenario"] = config.scenario["name"]
             payload["faults_injected"] = result.faults_injected
         if config.check:
-            payload["invariant_violations"] = result.invariant_violations
+            payload["check_mode"] = config.check_mode
+            payload["invariant_violations"] = len(result.violations)
             payload["violations"] = [
                 violation.to_dict() for violation in result.violations
             ]
@@ -152,7 +154,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"scenario:                {config.scenario['name']}")
             print(f"faults injected:         {result.faults_injected}")
         if config.check:
-            print(f"invariant violations:    {result.invariant_violations}")
+            print(f"check mode:              {config.check_mode}")
+            print(f"invariant violations:    {len(result.violations)}")
             for violation in result.violations:
                 print(f"  {violation.format()}")
         if result.obs is not None:
@@ -164,7 +167,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         save_trace(log, args.save_trace)
         if not args.json:
             print(f"trace saved:             {args.save_trace}")
-    if config.check and result.invariant_violations:
+    if config.check and result.violations:
         return 1
     return 0
 
@@ -172,12 +175,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .experiments import sweep_chart
 
-    base = _base_config(args)
-    if args.obs:
-        base = base.with_(obs_dir=args.obs)
-    scenario = _load_scenario_arg(args.scenario)
-    if scenario is not None:
-        base = base.with_(scenario=scenario)
+    instrumentation = _instrumentation(args)
+    base = instrumentation.apply(_base_config(args))
+    scenario = instrumentation.scenario
     seeds = tuple(args.seeds)
     progress = None
     if args.progress:
@@ -217,7 +217,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(sweep_chart(sweep, metric))
     if base.check:
         total = sum(
-            result.invariant_violations
+            len(result.violations)
             for point in sweep.points
             for result in point.results
         )
@@ -265,7 +265,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_propagation(args: argparse.Namespace) -> int:
-    points = propagation_study(_base_config(args))
+    # No --check flag here, but REPRO_CHECK still applies (it always has).
+    mode = _check_mode_requested(args)
+    config = _base_config(args)
+    if mode is not None:
+        config = config.with_(check=True, check_mode=mode)
+    points = propagation_study(config)
     print(format_propagation_table(points))
     return 0
 
@@ -330,10 +335,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--check",
-        action="store_true",
+        nargs="?",
+        const="incremental",
+        choices=_CHECK_MODES,
+        default=None,
+        metavar="MODE",
         help="checked mode: sweep protocol invariants (repro.sanitizer) "
-        "during the run; violations are reported and exit nonzero "
-        "(also enabled by REPRO_CHECK=1)",
+        "during the run; violations are reported and exit nonzero. "
+        "MODE is incremental (default: dirty-set sweeps + the verified-"
+        "signature cache), full (the original sweep-everything cross-"
+        "check path), or audit (incremental plus a periodic full-sweep "
+        "audit).  Also enabled by REPRO_CHECK=1 or REPRO_CHECK=<mode>",
     )
     run_parser.add_argument(
         "--json",
@@ -387,8 +399,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument(
         "--check",
-        action="store_true",
-        help="checked mode in every sweep cell (also REPRO_CHECK=1)",
+        nargs="?",
+        const="incremental",
+        choices=_CHECK_MODES,
+        default=None,
+        metavar="MODE",
+        help="checked mode in every sweep cell; MODE as for `repro run` "
+        "(also REPRO_CHECK=1 or REPRO_CHECK=<mode>)",
     )
     sweep_parser.add_argument(
         "--progress",

@@ -21,6 +21,7 @@ from .propagation import (
     propagation_samples,
     propagation_study,
 )
+from .instrumentation import RunInstrumentation, resolve_check_mode
 from .parallel import JOBS_ENV_VAR, SweepExecutor, resolve_jobs, run_many
 from .reporting import (
     METRIC_COLUMNS,
@@ -57,6 +58,8 @@ __all__ = [
     "PowerEvent",
     "PropagationPoint",
     "Protocol",
+    "RunInstrumentation",
+    "resolve_check_mode",
     "run_power_drop",
     "simulate_difficulty_dynamics",
     "SweepPoint",

@@ -87,9 +87,14 @@ class ExperimentConfig:
     # protocol's invariant checkers (via the adapter registry) and
     # sweeps node state every ``check_stride`` simulator events.
     # Checked runs are bit-identical to unchecked runs — checkers only
-    # read state — and violations land on
-    # ``ExperimentResult.invariant_violations``.
+    # read state — and violations land on ``ExperimentResult.violations``.
+    # ``check_mode`` picks the sweep strategy: "incremental" (dirty-set
+    # tracking + the verified-signature cache), "full" (the original
+    # sweep-everything strategy, uncached — the independent cross-check
+    # path), or "audit" (incremental plus a periodic full-sweep audit
+    # asserting the incremental path missed nothing).
     check: bool = False
+    check_mode: str = "incremental"
     check_stride: int = 64
 
     # Fault injection (repro.scenarios): a validated, schema-versioned
@@ -117,6 +122,10 @@ class ExperimentConfig:
             raise ValueError("need at least one block")
         if self.check_stride < 1:
             raise ValueError("check_stride must be at least 1")
+        if self.check_mode not in ("incremental", "full", "audit"):
+            raise ValueError(
+                "check_mode must be 'incremental', 'full', or 'audit'"
+            )
         if self.scenario is not None:
             from ..scenarios.spec import validate_scenario
 

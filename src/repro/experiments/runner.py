@@ -16,6 +16,7 @@ and is wired here when present; a bare run never touches the engine.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
 
 from ..clock import wall_clock
@@ -64,17 +65,34 @@ class ExperimentResult:
     messages_delivered: int = 0
     # Faults the scenario engine actually fired (0 for bare runs).
     faults_injected: int = 0
-    # Invariant violations the sanitizer found (0 unless config.check).
-    # The count participates in equality and pickles through sweep
-    # workers; the full records ride along for local inspection only.
-    invariant_violations: int = 0
-    violations: tuple = field(default=(), compare=False, repr=False)
+    # Invariant violations the sanitizer found (empty unless
+    # config.check).  This is the one canonical surface: a tuple of
+    # frozen ViolationRecords that participates in equality and pickles
+    # through sweep workers.  The old integer field is a deprecated
+    # property below — use ``len(result.violations)``.
+    violations: tuple = field(default=(), repr=False)
     # Wall-clock phases and the observability snapshot.  Excluded from
     # equality: wall time is machine noise, and the snapshot must not
     # break the parallel-equals-serial determinism guarantee.
     wall_setup_seconds: float = field(default=0.0, compare=False)
     wall_simulate_seconds: float = field(default=0.0, compare=False)
     obs: dict | None = field(default=None, compare=False, repr=False)
+
+    @property
+    def invariant_violations(self) -> int:
+        """Deprecated: the violation count.  Use ``len(result.violations)``.
+
+        Kept so external callers of the old dual surface keep working;
+        the JSON emitted by ``repro run --json`` still carries an
+        ``invariant_violations`` count key, which is unaffected.
+        """
+        warnings.warn(
+            "ExperimentResult.invariant_violations is deprecated; "
+            "use len(result.violations)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return len(self.violations)
 
     def as_row(self) -> dict[str, float]:
         """Flat numeric dict, convenient for table printing."""
@@ -136,13 +154,10 @@ def run_experiment(
     if profiler is not None:
         obs = profiler.wrap_observability(obs)
     if sanitizer is None and config.check:
-        from ..sanitizer.runtime import SanitizerRuntime
+        from .instrumentation import RunInstrumentation
 
-        sanitizer = SanitizerRuntime(
-            adapter.invariant_checkers(),
-            stride=config.check_stride,
-            tracer=obs.tracer,
-            profiler=profiler,
+        sanitizer = RunInstrumentation.from_config(config).build_sanitizer(
+            adapter, tracer=obs.tracer, profiler=profiler
         )
     network = build_network(config, sim, obs=obs)
     log = ObservationLog(config.n_nodes)
@@ -204,9 +219,6 @@ def run_experiment(
         events_processed=sim.events_processed,
         messages_delivered=network.messages_delivered,
         faults_injected=engine.faults_fired if engine is not None else 0,
-        invariant_violations=(
-            len(sanitizer.violations) if sanitizer is not None else 0
-        ),
         violations=(
             tuple(sanitizer.violations) if sanitizer is not None else ()
         ),

@@ -28,6 +28,10 @@ class Mempool:
         self._fees: dict[bytes, int] = {}
         self._spends: dict[OutPoint, bytes] = {}
         self.max_entries = max_entries
+        # Monotonic mutation counter: bumped by every successful state
+        # change.  The sanitizer's dirty-set tracker compares it between
+        # sweeps to skip pools that did not change (repro.sanitizer).
+        self.version = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -73,6 +77,7 @@ class Mempool:
         self._fees[tx.txid] = fee
         for txin in tx.inputs:
             self._spends[txin.outpoint] = tx.txid
+        self.version += 1
 
     def remove(self, txid: bytes) -> Transaction | None:
         """Remove and return a transaction (None if absent)."""
@@ -83,6 +88,7 @@ class Mempool:
         for txin in tx.inputs:
             if self._spends.get(txin.outpoint) == txid:
                 del self._spends[txin.outpoint]
+        self.version += 1
         return tx
 
     def evict_conflicts(self, tx: Transaction) -> list[Transaction]:
@@ -135,3 +141,4 @@ class Mempool:
         self._entries.clear()
         self._fees.clear()
         self._spends.clear()
+        self.version += 1

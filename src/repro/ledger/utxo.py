@@ -47,6 +47,10 @@ class UtxoSet:
     def __init__(self, coinbase_maturity: int = DEFAULT_COINBASE_MATURITY) -> None:
         self._coins: dict[OutPoint, Coin] = {}
         self.coinbase_maturity = coinbase_maturity
+        # Monotonic mutation counter: bumped by every apply/undo/credit.
+        # The sanitizer's dirty-set tracker compares it between sweeps
+        # to skip UTXO sets that did not change (repro.sanitizer).
+        self.version = 0
 
     def __len__(self) -> int:
         return len(self._coins)
@@ -122,6 +126,7 @@ class UtxoSet:
             outpoint = OutPoint(tx.txid, index)
             self._coins[outpoint] = Coin(output, height, tx.is_coinbase)
             undo.created.append(outpoint)
+        self.version += 1
         return undo
 
     def undo(self, record: UndoRecord) -> None:
@@ -130,6 +135,7 @@ class UtxoSet:
             self._coins.pop(outpoint, None)
         for outpoint, coin in record.spent:
             self._coins[outpoint] = coin
+        self.version += 1
 
     def credit(self, output: TxOutput, outpoint: OutPoint, height: int = 0) -> None:
         """Insert a coin directly — used to seed genesis allocations."""
@@ -138,6 +144,7 @@ class UtxoSet:
         if output.value > MAX_MONEY:
             raise ValueError_("genesis credit exceeds MAX_MONEY")
         self._coins[outpoint] = Coin(output, height, is_coinbase=False)
+        self.version += 1
 
     def snapshot(self) -> dict[OutPoint, Coin]:
         """Shallow copy of the coin map, for assertions in tests."""

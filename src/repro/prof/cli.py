@@ -43,8 +43,13 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--key-block-rate", type=float, default=0.02)
     parser.add_argument(
         "--check",
-        action="store_true",
-        help="profile a checked run too: per-INV1xx-checker attribution",
+        nargs="?",
+        const="incremental",
+        choices=("incremental", "full", "audit"),
+        default=None,
+        metavar="MODE",
+        help="profile a checked run too: per-INV1xx-checker attribution "
+        "(MODE as for `repro run --check`; default incremental)",
     )
     parser.add_argument(
         "--stride",
@@ -72,7 +77,8 @@ def _config_from_args(args: argparse.Namespace):
         block_rate=args.block_rate,
         block_size_bytes=args.block_size,
         key_block_rate=args.key_block_rate,
-        check=args.check,
+        check=args.check is not None,
+        check_mode=args.check if args.check is not None else "incremental",
         check_stride=args.stride,
         obs_dir=args.obs,
     )
@@ -96,9 +102,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     print()
     print(f"profile written:     {profile_path}")
     print(f"folded stacks:       {folded_path}")
-    if config.check and result.invariant_violations:
+    if config.check and result.violations:
         print(
-            f"invariant violations: {result.invariant_violations}",
+            f"invariant violations: {len(result.violations)}",
             file=sys.stderr,
         )
         return 1

@@ -1,12 +1,29 @@
 """The invariant catalog: what the paper promises, checked against state.
 
-Each checker is a small object with a code (``INV1xx``), a name, and two
-hooks: :meth:`InvariantChecker.check_block` runs once per block the
-sweeping node newly adopted onto its main chain (oldest first), and
+Each checker is a small object with a code (``INV1xx``), a name, and
+four hooks: :meth:`InvariantChecker.check_block` runs once per block the
+sweeping node newly adopted onto its main chain (oldest first);
 :meth:`InvariantChecker.check_state` runs against the node's current
-mempool/UTXO/chain state on every sweep.  Checkers only *read* node
-state — they never schedule events, draw randomness, or mutate anything,
-which is what keeps checked runs bit-identical to unchecked runs.
+mempool/UTXO/chain state (the *full-sweep* hook); and the incremental
+pair — :meth:`InvariantChecker.on_event` observes a :class:`NodeDelta`
+describing what changed since the last sweep, and
+:meth:`InvariantChecker.check_dirty` runs the state check only when the
+delta touches the components the checker declares in
+:attr:`InvariantChecker.depends`.  The default ``check_dirty`` delegates
+to ``check_state``, so a checker written against the full-sweep API is
+automatically correct (if not maximally cheap) under the incremental
+runtime.  Checkers only *read* node state — they never schedule events,
+draw randomness, or mutate anything, which is what keeps checked runs
+bit-identical to unchecked runs.
+
+INV104 (microblock-leader-sig) is the one checker whose work is
+expensive enough to dominate checked runs: a pure-Python ECDSA verify
+per main-chain microblock per node.  Signature validity is a pure
+function of ``(leader_pubkey, header, signature)``, so a process-wide
+:class:`SignatureCache` memoizes the verdict and each unique pair is
+verified exactly once per process — a reorg that moves a microblock
+under a different epoch leader produces a *different* cache key, so
+entries can never be served stale (see the class docstring).
 
 The catalog maps paper sections to executable assertions:
 
@@ -27,10 +44,16 @@ INV110    mempool-consistency         ledger bookkeeping
 
 :func:`ng_checkers` builds the full Bitcoin-NG set; :func:`chain_checkers`
 builds the protocol-agnostic subset used for plain Bitcoin and GHOST
-(their records carry no ``is_key``/leader structure to check).
+(their records carry no ``is_key``/leader structure to check).  All
+three factories take a ``mode`` — ``"incremental"`` wires the shared
+signature cache in, ``"full"`` builds independent uncached checkers for
+the cross-check path.
 """
 
 from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
 
 from typing import ClassVar
 
@@ -42,6 +65,130 @@ from .violations import ViolationRecord, make_violation
 #: Tolerance when comparing virtual timestamps, matching the chain's own
 #: microblock-interval validation slack.
 TIME_EPSILON = 1e-9
+
+#: The node-state components a checker can declare in
+#: :attr:`InvariantChecker.depends` (and a :class:`NodeDelta` can dirty).
+COMPONENTS = frozenset({"chain", "mempool", "utxo", "poisons"})
+
+#: Checker modes the factories and the runtime understand.
+CHECK_MODES = ("incremental", "full")
+
+
+def validate_check_mode(mode: str) -> str:
+    """Validate a checker-construction mode string and return it."""
+    if mode not in CHECK_MODES:
+        raise ValueError(
+            f"unknown check mode {mode!r} (choose from {CHECK_MODES})"
+        )
+    return mode
+
+
+@dataclass(frozen=True)
+class NodeDelta:
+    """What changed for one node since the sanitizer's last sweep.
+
+    Built by the runtime's dirty-set tracker from cheap observations —
+    the chain tip hash, the mempool/UTXO mutation counters, and the
+    published-poison count — plus the main-chain records the node newly
+    adopted (oldest first).  ``check_dirty`` uses it to skip state
+    checks whose inputs cannot have changed.
+    """
+
+    chain: bool = False
+    mempool: bool = False
+    utxo: bool = False
+    poisons: bool = False
+    #: Newly adopted main-chain records, oldest first (the same records
+    #: ``check_block`` is called with during this sweep).
+    fresh_blocks: tuple = ()
+
+    def touches(self, components: Iterable[str]) -> bool:
+        """True if any of ``components`` is dirty in this delta."""
+        for component in components:
+            if getattr(self, component, False):
+                return True
+        return False
+
+    @property
+    def dirty_components(self) -> frozenset[str]:
+        return frozenset(
+            component
+            for component in COMPONENTS
+            if getattr(self, component)
+        )
+
+
+#: A delta with every component dirty — what full sweeps hand to
+#: ``check_dirty`` so delegation to ``check_state`` is unconditional.
+ALL_DIRTY = NodeDelta(chain=True, mempool=True, utxo=True, poisons=True)
+
+
+class SignatureCache:
+    """Process-wide memo of microblock signature verdicts.
+
+    Signature validity is a *pure function* of the verifying key, the
+    signed header, and the signature bytes.  The cache key is therefore
+    ``(leader_pubkey, microblock_hash, signature)``: the microblock hash
+    pins the header (it covers prev-hash, timestamp, and entries root
+    but — deliberately — not the signature, so the signature must be in
+    the key itself), and the pubkey pins which epoch leader the pair is
+    judged under.  Because the key captures the verification's full
+    input, entries can never go stale: a reorg that drops a key block
+    changes which ``leader_pubkey`` INV104 looks up — a *different* key,
+    a fresh verification — never a wrong cached verdict.  Negative
+    verdicts are cached too, so a forged microblock costs one verify,
+    not one per sweep per node.
+    """
+
+    def __init__(self, max_entries: int = 1 << 20) -> None:
+        self.max_entries = max(1, int(max_entries))
+        self.hits = 0
+        self.misses = 0
+        self._verdicts: dict[tuple[bytes, bytes, bytes], bool] = {}
+
+    def __len__(self) -> int:
+        return len(self._verdicts)
+
+    def clear(self) -> None:
+        """Drop all memoized verdicts (and reset the hit/miss counters).
+
+        Safe at any time — the cache memoizes a pure function, so a
+        cleared entry is simply recomputed on next lookup.  Benchmarks
+        use this to measure cold-cache checked runs.
+        """
+        self._verdicts.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def verify(self, block: object, leader_pubkey: bytes) -> bool:
+        """``block.verify_signature(leader_pubkey)``, memoized."""
+        key = (
+            leader_pubkey,
+            block.hash,  # type: ignore[attr-defined]
+            block.signature,  # type: ignore[attr-defined]
+        )
+        verdict = self._verdicts.get(key)
+        if verdict is None:
+            self.misses += 1
+            verdict = bool(
+                block.verify_signature(leader_pubkey)  # type: ignore[attr-defined]
+            )
+            if len(self._verdicts) >= self.max_entries:
+                # Bounded: dropping memoized verdicts of a pure function
+                # is always safe — they refill on demand.
+                self._verdicts.clear()
+            self._verdicts[key] = verdict
+        else:
+            self.hits += 1
+        return verdict
+
+
+_SHARED_SIGNATURE_CACHE = SignatureCache()
+
+
+def shared_signature_cache() -> SignatureCache:
+    """The process-wide cache incremental-mode factories wire into INV104."""
+    return _SHARED_SIGNATURE_CACHE
 
 
 def chain_of(node: object) -> object:
@@ -82,11 +229,25 @@ def _epoch_fees_behind(node: object, chain: object, parent_hash: bytes) -> int:
 
 
 class InvariantChecker:
-    """One protocol invariant: a code, a description, and two hooks."""
+    """One protocol invariant: a code, a description, and four hooks.
+
+    ``check_block``/``check_state`` are the original full-sweep surface;
+    ``on_event``/``check_dirty`` are the incremental surface fed by the
+    runtime's dirty-set tracker.  The defaults make every legacy checker
+    incremental-correct for free: ``check_dirty`` delegates to
+    ``check_state`` whenever the delta touches :attr:`depends`, and
+    ``on_event`` is a no-op observation hook for checkers that maintain
+    cross-sweep state.
+    """
 
     code: ClassVar[str] = "INV000"
     name: ClassVar[str] = "unnamed"
     description: ClassVar[str] = ""
+    #: Which node-state components the *state* hook reads.  The
+    #: incremental runtime only calls ``check_dirty`` when the sweep's
+    #: delta touches one of these; block-scoped checkers declare the
+    #: empty set because their state hook checks nothing.
+    depends: ClassVar[frozenset[str]] = COMPONENTS
 
     def check_block(
         self, node: object, node_id: int, record: object, now: float
@@ -97,11 +258,38 @@ class InvariantChecker:
     def check_state(
         self, node: object, node_id: int, now: float
     ) -> list[ViolationRecord]:
-        """Called against the node's live state on every sweep."""
+        """Called against the node's live state on every full sweep."""
+        return []
+
+    def on_event(
+        self, node: object, node_id: int, delta: NodeDelta, now: float
+    ) -> None:
+        """Observe a node's delta before this sweep's checks run.
+
+        Incremental mode only; called once per dirty node per sweep,
+        before ``check_block``/``check_dirty``.  For checkers that track
+        cross-sweep state; must not mutate node state.
+        """
+
+    def check_dirty(
+        self, node: object, node_id: int, delta: NodeDelta, now: float
+    ) -> list[ViolationRecord]:
+        """The state check, gated on what actually changed.
+
+        The default runs ``check_state`` when ``delta`` touches
+        :attr:`depends` and skips it otherwise — sound whenever
+        ``depends`` names every component the state check reads.
+        """
+        if delta.touches(self.depends):
+            return self.check_state(node, node_id, now)
         return []
 
 
 # -- block-scoped checkers ---------------------------------------------------
+#
+# All of these verify properties of individual (immutable) blocks via
+# ``check_block``; their state hook checks nothing, so ``depends`` is
+# empty and the incremental runtime never calls their ``check_dirty``.
 
 
 class ValueConservation(InvariantChecker):
@@ -111,6 +299,7 @@ class ValueConservation(InvariantChecker):
         "Every key block's coinbase mints exactly key_block_reward plus "
         "the entry fees of the epoch it closes — no inflation, no burn."
     )
+    depends = frozenset()
 
     def check_block(
         self, node: object, node_id: int, record: object, now: float
@@ -154,6 +343,7 @@ class FeeSplit(InvariantChecker):
         "int(fees * leader_fee_fraction) satoshis — the 40% share, "
         "integer-exact, with rounding dust to the new leader."
     )
+    depends = frozenset()
 
     def check_block(
         self, node: object, node_id: int, record: object, now: float
@@ -196,6 +386,19 @@ class MicroblockSignature(InvariantChecker):
         "Every microblock on the main chain verifies under the epoch "
         "leader's public key — the key in the latest key block before it."
     )
+    depends = frozenset()
+
+    def __init__(self, cache: SignatureCache | None = None) -> None:
+        # ``cache=None`` verifies every call independently — the honest
+        # path ``--check=full`` and the periodic audit use.  Incremental
+        # factories pass the shared process-wide cache so each unique
+        # (leader_pubkey, microblock, signature) triple is verified once.
+        self.cache = cache
+
+    def _verify(self, block: object, leader_pubkey: bytes) -> bool:
+        if self.cache is not None:
+            return self.cache.verify(block, leader_pubkey)
+        return bool(block.verify_signature(leader_pubkey))  # type: ignore[attr-defined]
 
     def check_block(
         self, node: object, node_id: int, record: object, now: float
@@ -206,7 +409,7 @@ class MicroblockSignature(InvariantChecker):
         parent = chain.get(record.parent_hash)  # type: ignore[attr-defined]
         if parent is None:
             return []
-        if not record.block.verify_signature(parent.leader_pubkey):  # type: ignore[attr-defined]
+        if not self._verify(record.block, parent.leader_pubkey):  # type: ignore[attr-defined]
             return [
                 make_violation(
                     self,
@@ -228,6 +431,7 @@ class MicroblockRate(InvariantChecker):
         "Adjacent microblock timestamps respect the protocol's minimum "
         "interval — the cap that stops a leader swamping the network."
     )
+    depends = frozenset()
 
     def check_block(
         self, node: object, node_id: int, record: object, now: float
@@ -262,6 +466,7 @@ class MicroblockSize(InvariantChecker):
         "No main-chain microblock exceeds the protocol's maximum "
         "microblock size."
     )
+    depends = frozenset()
 
     def check_block(
         self, node: object, node_id: int, record: object, now: float
@@ -293,6 +498,7 @@ class ChainWeight(InvariantChecker):
         "own work for key blocks, and unchanged for microblocks — "
         "microblocks carry zero weight in fork choice."
     )
+    depends = frozenset()
 
     def check_block(
         self, node: object, node_id: int, record: object, now: float
@@ -331,6 +537,12 @@ class CoinbaseMaturity(InvariantChecker):
         "No mempool transaction spends a coinbase output before it has "
         "matured (coinbase_maturity blocks deep)."
     )
+    # The check also reads the chain tip height, but a violation can only
+    # *appear* via a pool mutation (a new immature spend) or a UTXO
+    # mutation (a reorg disconnecting blocks lowers the tip, and every
+    # disconnect is an undo — a UTXO mutation).  Pure height growth only
+    # clears violations, so "chain" need not be in the set.
+    depends = frozenset({"mempool", "utxo"})
 
     def check_state(
         self, node: object, node_id: int, now: float
@@ -372,6 +584,9 @@ class PoisonForfeiture(InvariantChecker):
         "proof whose pruned microblock is genuinely off the main chain, "
         "and is registered (one poison per cheater)."
     )
+    # Reads the published-poison list and the main-chain membership of
+    # each pruned microblock (which a reorg can change).
+    depends = frozenset({"poisons", "chain"})
 
     def check_state(
         self, node: object, node_id: int, now: float
@@ -426,6 +641,9 @@ class TipMonotonicity(InvariantChecker):
         "A node's tip weight never decreases: fork choice only ever "
         "switches to a chain of equal or greater key-block work."
     )
+    # A weight decrease implies a tip switch, and every tip switch
+    # dirties the chain component — skipped sweeps can't miss one.
+    depends = frozenset({"chain"})
 
     def __init__(self) -> None:
         self._last_weight: dict[int, int] = {}
@@ -458,6 +676,7 @@ class MempoolConsistency(InvariantChecker):
         "each other, and every entry's inputs exist in the UTXO set or "
         "as in-pool parents."
     )
+    depends = frozenset({"mempool", "utxo"})
 
     def check_state(
         self, node: object, node_id: int, now: float
@@ -544,13 +763,22 @@ class MempoolConsistency(InvariantChecker):
         return violations
 
 
-def ng_checkers() -> list[InvariantChecker]:
-    """Fresh instances of the full Bitcoin-NG invariant catalog."""
+def ng_checkers(mode: str = "incremental") -> list[InvariantChecker]:
+    """Fresh instances of the full Bitcoin-NG invariant catalog.
+
+    ``mode="incremental"`` (the default) wires the shared process-wide
+    :class:`SignatureCache` into INV104 so each unique signature pair is
+    verified once per process; ``mode="full"`` builds an uncached INV104
+    — the genuinely independent verification path the cross-check mode
+    and the periodic audit rely on.
+    """
+    validate_check_mode(mode)
+    cache = shared_signature_cache() if mode == "incremental" else None
     return [
         ValueConservation(),
         FeeSplit(),
         CoinbaseMaturity(),
-        MicroblockSignature(),
+        MicroblockSignature(cache=cache),
         MicroblockRate(),
         MicroblockSize(),
         ChainWeight(),
@@ -560,9 +788,12 @@ def ng_checkers() -> list[InvariantChecker]:
     ]
 
 
-def chain_checkers() -> list[InvariantChecker]:
+def chain_checkers(mode: str = "incremental") -> list[InvariantChecker]:
     """The protocol-agnostic subset (plain Bitcoin and the default for
-    externally registered adapters)."""
+    externally registered adapters).  No checker here caches, so the
+    modes build identical sets — the parameter keeps the factory surface
+    uniform across protocols."""
+    validate_check_mode(mode)
     return [
         ChainWeight(),
         CoinbaseMaturity(),
@@ -571,13 +802,14 @@ def chain_checkers() -> list[InvariantChecker]:
     ]
 
 
-def ghost_checkers() -> list[InvariantChecker]:
+def ghost_checkers(mode: str = "incremental") -> list[InvariantChecker]:
     """The GHOST subset: tip monotonicity is deliberately absent.
 
     GHOST picks tips by heaviest *subtree*, so a reorg can legitimately
     adopt a leaf whose chain work is lower than the old tip's — INV109
     is an invariant of heaviest-chain protocols only.
     """
+    validate_check_mode(mode)
     return [
         ChainWeight(),
         CoinbaseMaturity(),

@@ -45,11 +45,24 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         default=64,
         help="capture a digest snapshot every N simulator events",
     )
+    parser.add_argument(
+        "--check",
+        nargs="?",
+        const="incremental",
+        choices=("incremental", "full", "audit"),
+        default=None,
+        metavar="MODE",
+        help="also run the protocol's invariant checkers during the "
+        "digest run(s); in the run-twice diverge mode both runs use "
+        "this same mode by construction, so a divergence can never be "
+        "an incremental-vs-full artifact",
+    )
 
 
 def _config_from_args(args: argparse.Namespace) -> object:
     from ..experiments import ExperimentConfig
 
+    mode = getattr(args, "check", None)
     return ExperimentConfig(
         protocol=args.protocol,
         n_nodes=args.nodes,
@@ -58,15 +71,31 @@ def _config_from_args(args: argparse.Namespace) -> object:
         block_rate=args.block_rate,
         block_size_bytes=args.block_size,
         key_block_rate=args.key_block_rate,
+        check=mode is not None,
+        check_mode=mode if mode is not None else "incremental",
     )
 
 
 def _digest_run(config: object, stride: int) -> list:
-    """One experiment run capturing digests only (no invariant sweeps)."""
-    from ..experiments import run_experiment
-    from .runtime import SanitizerRuntime
+    """One experiment run capturing a digest stream.
 
-    runtime = SanitizerRuntime((), digest_stride=max(1, stride))
+    Checking rides along when the config asks for it, built through the
+    same :class:`~repro.experiments.instrumentation.RunInstrumentation`
+    path as ``repro run`` — so two calls with the same config check in
+    the same mode, by construction.
+    """
+    from ..experiments import RunInstrumentation, run_experiment
+    from ..protocols import get_adapter
+
+    instrumentation = RunInstrumentation.from_config(config)  # type: ignore[arg-type]
+    adapter = (
+        get_adapter(config.protocol)  # type: ignore[attr-defined]
+        if instrumentation.check
+        else None
+    )
+    runtime = instrumentation.build_sanitizer(
+        adapter, digest_stride=max(1, stride)
+    )
     run_experiment(config, sanitizer=runtime)  # type: ignore[arg-type]
     return runtime.digests
 

@@ -58,6 +58,43 @@ def test_parser_requires_command():
         build_parser().parse_args([])
 
 
+def test_check_flag_parses_bare_and_with_mode():
+    parser = build_parser()
+    assert parser.parse_args(["run"]).check is None
+    assert parser.parse_args(["run", "--check"]).check == "incremental"
+    assert parser.parse_args(["run", "--check", "full"]).check == "full"
+    assert parser.parse_args(["run", "--check", "audit"]).check == "audit"
+    assert (
+        parser.parse_args(["sweep", "frequency", "--check", "full"]).check
+        == "full"
+    )
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "--check", "bogus"])
+
+
+def test_run_checked_json_reports_mode_and_violations(capsys):
+    import json
+
+    code = main(
+        [
+            "run",
+            "--protocol", "bitcoin-ng",
+            "--nodes", "10",
+            "--blocks", "8",
+            "--block-rate", "0.2",
+            "--key-block-rate", "0.05",
+            "--block-size", "3000",
+            "--check", "audit",
+            "--json",
+        ]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["check_mode"] == "audit"
+    assert payload["invariant_violations"] == 0
+    assert payload["violations"] == []
+
+
 def test_parser_rejects_unknown_protocol():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "--protocol", "dogecoin"])

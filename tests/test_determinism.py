@@ -102,7 +102,7 @@ def test_checked_run_bit_identical_to_bare_run():
         assert (
             checked_result.events_processed == bare_result.events_processed
         )
-        assert checked_result.invariant_violations == 0
+        assert len(checked_result.violations) == 0
 
 
 # -- profiler ---------------------------------------------------------------
@@ -143,7 +143,7 @@ def test_profiled_checked_run_bit_identical_to_bare_run():
     assert _fingerprint(prof_log) == _fingerprint(bare_log)
     assert prof_result.as_row() == bare_result.as_row()
     assert prof_result.events_processed == bare_result.events_processed
-    assert prof_result.invariant_violations == 0
+    assert len(prof_result.violations) == 0
     # Per-checker attribution was recorded for every registered checker.
     assert profile.checkers
     assert all(stat.calls > 0 for stat in profile.checkers.values())

@@ -376,7 +376,7 @@ def test_checked_run_is_clean(protocol):
         protocol=protocol, check=True, check_stride=32, **CHECKED
     )
     result, _log = run_experiment(config)
-    assert result.invariant_violations == 0
+    assert len(result.violations) == 0
     assert result.violations == ()
 
 

@@ -1,0 +1,693 @@
+"""The incremental sanitizer: dirty tracking, the signature cache, audits.
+
+Four layers of coverage:
+
+* every hand-built violating state from the full-sweep suite is still
+  caught when swept *incrementally* (dirty-set tracking + the shared
+  signature cache), including INV109's cross-sweep rollback;
+* the :class:`~repro.sanitizer.checkers.SignatureCache` — exactly-once
+  verification, negative-verdict caching, and the reorg story: a
+  microblock re-judged under a different epoch leader is a different
+  cache key, never a stale verdict;
+* the audit machinery — ``mode="audit"`` cross-checks the incremental
+  path with from-scratch full sweeps and surfaces anything missed as a
+  ``SAN901`` audit-divergence alongside the finding itself;
+* the :class:`~repro.experiments.RunInstrumentation` options object and
+  the end-to-end equivalences: incremental ≡ full ≡ audit checked runs,
+  all bit-identical to bare runs, with the leader-crash scenario clean
+  under incremental checking.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.bitcoin.blocks import SyntheticPayload
+from repro.bitcoin.chain import TieBreak
+from repro.core.blocks import build_key_block, build_microblock
+from repro.core.chain import NGChain
+from repro.core.genesis import make_ng_genesis
+from repro.core.params import NGParams
+from repro.core.remuneration import build_ng_coinbase, split_fee
+from repro.crypto.hashing import hash160
+from repro.crypto.keys import PrivateKey
+from repro.experiments import (
+    ExperimentConfig,
+    RunInstrumentation,
+    resolve_check_mode,
+    run_experiment,
+)
+from repro.ledger.mempool import Mempool
+from repro.ledger.transactions import (
+    OutPoint,
+    Transaction,
+    TxInput,
+    TxOutput,
+    make_coinbase,
+)
+from repro.ledger.utxo import UtxoSet
+from repro.protocols import get_adapter
+from repro.sanitizer import (
+    InvariantChecker,
+    NodeDelta,
+    SanitizerRuntime,
+    SignatureCache,
+    ng_checkers,
+)
+from repro.sanitizer.checkers import validate_check_mode
+from repro.scenarios import load_scenario
+
+PARAMS = NGParams(key_block_interval=100.0, min_microblock_interval=10.0)
+GENESIS = make_ng_genesis()
+ALICE = PrivateKey.from_seed("alice")
+BOB = PrivateKey.from_seed("bob")
+FEE_PER_TX = 1_000
+PKH = hash160(b"payee")
+
+
+def _key(prev, key, t, miner=1, coinbase=None):
+    if coinbase is None:
+        coinbase = build_ng_coinbase(
+            miner_id=miner,
+            timestamp=t,
+            self_pubkey_hash=hash160(key.public_key().to_bytes()),
+            prev_leader_pubkey_hash=None,
+            prev_epoch_fees=0,
+            params=PARAMS,
+        )
+    return build_key_block(
+        prev_hash=prev,
+        timestamp=t,
+        bits=0x207FFFFF,
+        leader_pubkey=key.public_key().to_bytes(),
+        coinbase=coinbase,
+    )
+
+
+def _micro(prev, key, t, salt=b"m", n_tx=3):
+    return build_microblock(
+        prev_hash=prev,
+        timestamp=t,
+        payload=SyntheticPayload(n_tx=n_tx, salt=salt),
+        leader_key=key,
+    )
+
+
+def _node(chain, params=PARAMS):
+    return SimpleNamespace(
+        node_id=0,
+        chain=chain,
+        params=params,
+        policy=SimpleNamespace(synthetic_fee_per_tx=FEE_PER_TX),
+        mempool=Mempool(),
+        utxo=UtxoSet(),
+        poisons_published=[],
+        poison_registry=None,
+    )
+
+
+class _FakeSim:
+    def __init__(self):
+        self.now = 0.0
+        self.probe = None
+
+    def set_probe(self, probe):
+        self.probe = probe
+
+
+def _incremental_codes(node, mode="incremental", sweeps=1):
+    """Sweep one node through a fresh incremental runtime; return codes."""
+    sim = _FakeSim()
+    runtime = SanitizerRuntime(ng_checkers(), stride=1, mode=mode)
+    runtime.install(sim, [node])
+    for _ in range(sweeps):
+        sim.probe()
+    runtime.finalize()
+    return {violation.code for violation in runtime.violations}
+
+
+def _epoch_chain(coinbase2=None):
+    chain = NGChain(GENESIS, PARAMS, tie_break=TieBreak.FIRST_SEEN)
+    key1 = _key(GENESIS.hash, ALICE, 10.0)
+    chain.add_block(key1, 10.0)
+    micro = _micro(key1.hash, ALICE, 20.0)
+    chain.add_block(micro, 20.0)
+    if coinbase2 is None:
+        coinbase2 = build_ng_coinbase(
+            miner_id=2,
+            timestamp=30.0,
+            self_pubkey_hash=hash160(BOB.public_key().to_bytes()),
+            prev_leader_pubkey_hash=hash160(ALICE.public_key().to_bytes()),
+            prev_epoch_fees=3 * FEE_PER_TX,
+            params=PARAMS,
+        )
+    key2 = _key(micro.hash, BOB, 30.0, miner=2, coinbase=coinbase2)
+    chain.add_block(key2, 30.0)
+    return chain
+
+
+# -- every full-sweep fixture, swept incrementally ----------------------------
+
+
+def _fixture_inflating_coinbase():
+    fees = 3 * FEE_PER_TX
+    prev_cut, self_cut = split_fee(fees, PARAMS.leader_fee_fraction)
+    coinbase = make_coinbase(
+        [
+            (hash160(BOB.public_key().to_bytes()),
+             PARAMS.key_block_reward + self_cut + 7),
+            (hash160(ALICE.public_key().to_bytes()), prev_cut),
+        ],
+        tag=b"inflate",
+    )
+    return _node(_epoch_chain(coinbase)), "INV101"
+
+
+def _fixture_overpaying_fee_split():
+    fees = 3 * FEE_PER_TX
+    prev_cut, self_cut = split_fee(fees, PARAMS.leader_fee_fraction)
+    coinbase = make_coinbase(
+        [
+            (hash160(BOB.public_key().to_bytes()),
+             PARAMS.key_block_reward + self_cut - 500),
+            (hash160(ALICE.public_key().to_bytes()), prev_cut + 500),
+        ],
+        tag=b"overpay",
+    )
+    return _node(_epoch_chain(coinbase)), "INV102"
+
+
+def _fixture_premature_coinbase_spend():
+    node = _node(NGChain(GENESIS, PARAMS))
+    coinbase = make_coinbase([(PKH, 5_000)], tag=b"fresh")
+    node.utxo.apply(coinbase, height=0)
+    spend = Transaction(
+        inputs=(TxInput(OutPoint(coinbase.txid, 0)),),
+        outputs=(TxOutput(4_000, PKH),),
+    )
+    node.mempool.add(spend, fee=1_000)
+    return node, "INV103"
+
+
+def _fixture_forged_microblock():
+    chain = NGChain(GENESIS, PARAMS)
+    key1 = _key(GENESIS.hash, ALICE, 10.0)
+    chain.add_block(key1, 10.0)
+    chain.add_block(_micro(key1.hash, BOB, 20.0), 20.0, check_signature=False)
+    return _node(chain), "INV104"
+
+
+def _fixture_fast_microblocks():
+    loose = NGParams(key_block_interval=100.0, min_microblock_interval=0.5)
+    chain = NGChain(GENESIS, loose)
+    key1 = _key(GENESIS.hash, ALICE, 10.0)
+    chain.add_block(key1, 10.0)
+    chain.add_block(_micro(key1.hash, ALICE, 11.0), 11.0)
+    return _node(chain), "INV105"
+
+
+def _fixture_oversized_microblock():
+    chain = NGChain(GENESIS, PARAMS)
+    key1 = _key(GENESIS.hash, ALICE, 10.0)
+    chain.add_block(key1, 10.0)
+    micro = _micro(key1.hash, ALICE, 20.0)
+    chain.add_block(micro, 20.0)
+    strict = NGParams(
+        key_block_interval=100.0,
+        min_microblock_interval=10.0,
+        max_microblock_bytes=micro.size - 1,
+    )
+    return _node(chain, params=strict), "INV106"
+
+
+def _fixture_corrupted_chain_weight():
+    chain = _epoch_chain()
+    chain.tip_record.cumulative_work += 5
+    return _node(chain), "INV107"
+
+
+def _fixture_bogus_poison_proof():
+    node = _node(_epoch_chain())
+    node.poisons_published = [
+        SimpleNamespace(
+            proof=SimpleNamespace(
+                pruned_micro=SimpleNamespace(hash=b"\x07" * 32),
+                verify=lambda: False,
+            )
+        )
+    ]
+    return node, "INV108"
+
+
+def _fixture_missing_fee_record():
+    node = _node(_epoch_chain())
+    node.utxo.credit(TxOutput(9_000, PKH), OutPoint(b"\x01" * 32, 0))
+    spend = Transaction(
+        inputs=(TxInput(OutPoint(b"\x01" * 32, 0)),),
+        outputs=(TxOutput(8_000, PKH),),
+    )
+    node.mempool.add(spend, fee=1_000)
+    del node.mempool._fees[spend.txid]
+    return node, "INV110"
+
+
+FIXTURES = [
+    _fixture_inflating_coinbase,
+    _fixture_overpaying_fee_split,
+    _fixture_premature_coinbase_spend,
+    _fixture_forged_microblock,
+    _fixture_fast_microblocks,
+    _fixture_oversized_microblock,
+    _fixture_corrupted_chain_weight,
+    _fixture_bogus_poison_proof,
+    _fixture_missing_fee_record,
+]
+
+
+@pytest.mark.parametrize(
+    "fixture", FIXTURES, ids=[f.__name__.removeprefix("_fixture_") for f in FIXTURES]
+)
+def test_every_violation_fixture_caught_incrementally(fixture):
+    node, expected = fixture()
+    assert _incremental_codes(node) == {expected}
+
+
+@pytest.mark.parametrize(
+    "fixture", FIXTURES, ids=[f.__name__.removeprefix("_fixture_") for f in FIXTURES]
+)
+def test_every_violation_fixture_caught_in_audit_mode(fixture):
+    node, expected = fixture()
+    # Audit mode must catch the same violations — and, since the
+    # incremental path already reported them, file no SAN901.
+    assert _incremental_codes(node, mode="audit", sweeps=2) == {expected}
+
+
+def test_rollback_between_sweeps_trips_inv109_incrementally():
+    long_chain = NGChain(GENESIS, PARAMS)
+    key1 = _key(GENESIS.hash, ALICE, 10.0)
+    long_chain.add_block(key1, 10.0)
+    key2 = _key(key1.hash, BOB, 30.0, miner=2)
+    long_chain.add_block(key2, 30.0)
+    short_chain = NGChain(GENESIS, PARAMS)
+    short_chain.add_block(key1, 10.0)
+
+    sim = _FakeSim()
+    node = _node(long_chain)
+    runtime = SanitizerRuntime(ng_checkers(), stride=1, mode="incremental")
+    runtime.install(sim, [node])
+    sim.probe()
+    assert runtime.violations == []
+    node.chain = short_chain  # a rollback no fork-choice rule allows
+    sim.probe()  # tip hash changed -> chain dirty -> INV109 re-checked
+    assert {v.code for v in runtime.violations} == {"INV109"}
+
+
+def test_incremental_skips_provably_clean_nodes():
+    calls = []
+
+    class Counting(InvariantChecker):
+        code = "INV998"
+        depends = frozenset({"mempool"})
+
+        def check_state(self, node, node_id, now):
+            calls.append(node_id)
+            return []
+
+    sim = _FakeSim()
+    node = _node(_epoch_chain())
+    runtime = SanitizerRuntime([Counting()], stride=1, mode="incremental")
+    runtime.install(sim, [node])
+    sim.probe()  # first sweep: everything dirty
+    assert calls == [0]
+    sim.probe()
+    sim.probe()  # nothing changed: provably clean, state check skipped
+    assert calls == [0]
+    node.mempool.add(
+        Transaction(
+            inputs=(TxInput(OutPoint(b"\x03" * 32, 0)),),
+            outputs=(TxOutput(1_000, PKH),),
+        ),
+        fee=100,
+    )
+    sim.probe()  # mempool version bumped -> dirty -> re-checked
+    assert calls == [0, 0]
+
+
+def test_full_mode_never_skips():
+    calls = []
+
+    class Counting(InvariantChecker):
+        code = "INV998"
+        depends = frozenset({"mempool"})
+
+        def check_state(self, node, node_id, now):
+            calls.append(node_id)
+            return []
+
+    sim = _FakeSim()
+    runtime = SanitizerRuntime([Counting()], stride=1, mode="full")
+    runtime.install(sim, [_node(_epoch_chain())])
+    sim.probe()
+    sim.probe()
+    sim.probe()
+    assert calls == [0, 0, 0]
+
+
+# -- the signature cache ------------------------------------------------------
+
+
+def test_cache_verifies_each_pair_exactly_once():
+    key1 = _key(GENESIS.hash, ALICE, 10.0)
+    micro = _micro(key1.hash, ALICE, 20.0)
+    cache = SignatureCache()
+    leader = ALICE.public_key().to_bytes()
+    assert cache.verify(micro, leader) is True
+    assert cache.verify(micro, leader) is True
+    assert (cache.misses, cache.hits, len(cache)) == (1, 1, 1)
+
+
+def test_cache_stores_negative_verdicts():
+    key1 = _key(GENESIS.hash, ALICE, 10.0)
+    forged = _micro(key1.hash, BOB, 20.0)  # signed by BOB, not ALICE
+    cache = SignatureCache()
+    leader = ALICE.public_key().to_bytes()
+    assert cache.verify(forged, leader) is False
+    assert cache.verify(forged, leader) is False
+    assert (cache.misses, cache.hits) == (1, 1)
+
+
+def test_reorg_to_new_leader_is_a_fresh_verification_not_a_stale_serve():
+    # The reorg story: a microblock signed by ALICE is valid while the
+    # chain says ALICE leads its epoch.  After a reorg that puts BOB's
+    # key block in front, INV104 looks the same microblock up under
+    # BOB's key — a *different* cache key, so the cached True verdict
+    # for ALICE is unused (not stale-served) and the new pair verifies
+    # fresh to False.
+    key1 = _key(GENESIS.hash, ALICE, 10.0)
+    micro = _micro(key1.hash, ALICE, 20.0)
+    cache = SignatureCache()
+    alice_pub = ALICE.public_key().to_bytes()
+    bob_pub = BOB.public_key().to_bytes()
+    assert cache.verify(micro, alice_pub) is True
+    assert cache.verify(micro, bob_pub) is False
+    assert cache.misses == 2  # second lookup was NOT a cache hit
+    assert cache.hits == 0
+    assert len(cache) == 2
+    # Reorg back: the original verdict is still there and still right.
+    assert cache.verify(micro, alice_pub) is True
+    assert cache.hits == 1
+
+
+def test_cache_key_includes_the_signature_itself():
+    # The microblock header hash deliberately excludes the signature, so
+    # two blocks with identical headers but different signature bytes
+    # must occupy distinct cache entries.
+    key1 = _key(GENESIS.hash, ALICE, 10.0)
+    micro = _micro(key1.hash, ALICE, 20.0)
+    tampered = SimpleNamespace(
+        hash=micro.hash,
+        signature=b"\x00" * 64,
+        verify_signature=lambda pub: False,
+    )
+    cache = SignatureCache()
+    leader = ALICE.public_key().to_bytes()
+    assert cache.verify(micro, leader) is True
+    assert cache.verify(tampered, leader) is False
+    assert len(cache) == 2
+
+
+def test_cache_bounds_its_size_by_clearing():
+    key1 = _key(GENESIS.hash, ALICE, 10.0)
+    cache = SignatureCache(max_entries=2)
+    leader = ALICE.public_key().to_bytes()
+    micros = [_micro(key1.hash, ALICE, 20.0 + i, salt=bytes([i])) for i in range(3)]
+    for micro in micros:
+        cache.verify(micro, leader)
+    assert len(cache) == 1  # full at 2, cleared, third re-inserted
+    assert cache.misses == 3
+
+
+def test_invalid_factory_mode_is_rejected():
+    with pytest.raises(ValueError, match="unknown check mode"):
+        validate_check_mode("bogus")
+    with pytest.raises(ValueError, match="unknown check mode"):
+        ng_checkers(mode="bogus")
+    with pytest.raises(ValueError, match="unknown sanitizer mode"):
+        SanitizerRuntime((), mode="bogus")
+
+
+def test_full_mode_factory_builds_uncached_inv104():
+    from repro.sanitizer.checkers import MicroblockSignature
+
+    cached = [c for c in ng_checkers("incremental") if isinstance(c, MicroblockSignature)]
+    uncached = [c for c in ng_checkers("full") if isinstance(c, MicroblockSignature)]
+    assert cached[0].cache is not None
+    assert uncached[0].cache is None
+
+
+# -- the audit ----------------------------------------------------------------
+
+
+class _Buggy(InvariantChecker):
+    """Deliberately wrong ``depends``: reads the mempool but declares
+    ``poisons``, so the incremental path skips it on mempool changes."""
+
+    code = "INV999"
+    name = "buggy"
+    depends = frozenset({"poisons"})
+
+    def check_state(self, node, node_id, now):
+        from repro.sanitizer.violations import make_violation
+
+        if list(node.mempool.transactions()):
+            return [make_violation(self, node_id, now, "pool not empty")]
+        return []
+
+
+def test_audit_surfaces_what_the_incremental_path_missed():
+    sim = _FakeSim()
+    node = _node(_epoch_chain())
+    runtime = SanitizerRuntime(
+        [_Buggy()], stride=1, mode="audit", audit_stride=1
+    )
+    runtime.install(sim, [node])
+    sim.probe()  # clean node: nothing to find anywhere
+    assert runtime.violations == []
+    node.mempool.add(
+        Transaction(
+            inputs=(TxInput(OutPoint(b"\x04" * 32, 0)),),
+            outputs=(TxOutput(1_000, PKH),),
+        ),
+        fee=100,
+    )
+    sim.probe()  # mempool dirty, but depends={"poisons"}: skipped...
+    # ...and the same sweep's audit catches it from scratch.
+    codes = [v.code for v in runtime.violations]
+    assert codes == ["INV999", "SAN901"]
+    marker = runtime.violations[1]
+    assert dict(marker.snapshot)["missed_code"] == "INV999"
+    assert runtime.audits >= 1
+
+
+def test_audit_is_silent_when_incremental_found_everything():
+    node, expected = _fixture_forged_microblock()
+    codes = _incremental_codes(node, mode="audit", sweeps=3)
+    assert codes == {expected}  # no SAN901
+
+
+def test_incremental_mode_never_audits():
+    sim = _FakeSim()
+    runtime = SanitizerRuntime(ng_checkers(), stride=1, mode="incremental")
+    runtime.install(sim, [_node(_epoch_chain())])
+    for _ in range(50):
+        sim.probe()
+    runtime.finalize()
+    assert runtime.audits == 0
+
+
+# -- version counters ---------------------------------------------------------
+
+
+def test_mempool_mutators_bump_version():
+    pool = Mempool()
+    assert pool.version == 0
+    tx = Transaction(
+        inputs=(TxInput(OutPoint(b"\x05" * 32, 0)),),
+        outputs=(TxOutput(1_000, PKH),),
+    )
+    pool.add(tx, fee=100)
+    after_add = pool.version
+    assert after_add > 0
+    pool.remove(tx.txid)
+    assert pool.version > after_add
+    pool.clear()
+    assert pool.version > after_add + 1
+
+
+def test_utxo_mutators_bump_version():
+    utxo = UtxoSet()
+    assert utxo.version == 0
+    coinbase = make_coinbase([(PKH, 5_000)], tag=b"v")
+    undo = utxo.apply(coinbase, height=0)
+    after_apply = utxo.version
+    assert after_apply > 0
+    utxo.undo(undo)
+    after_undo = utxo.version
+    assert after_undo > after_apply
+    utxo.credit(TxOutput(1_000, PKH), OutPoint(b"\x06" * 32, 0))
+    assert utxo.version > after_undo
+
+
+# -- RunInstrumentation -------------------------------------------------------
+
+
+def test_instrumentation_from_args_and_apply_round_trip():
+    args = SimpleNamespace(scenario=None, check_stride=32, obs=None)
+    inst = RunInstrumentation.from_args(args, check_mode="audit")
+    assert inst == RunInstrumentation(
+        check=True, check_mode="audit", check_stride=32
+    )
+    config = inst.apply(ExperimentConfig())
+    assert (config.check, config.check_mode, config.check_stride) == (
+        True, "audit", 32,
+    )
+    assert RunInstrumentation.from_config(config) == inst
+
+
+def test_instrumentation_unchecked_builds_no_sanitizer():
+    inst = RunInstrumentation()
+    assert inst.build_sanitizer(get_adapter("bitcoin-ng")) is None
+
+
+def test_instrumentation_builds_runtime_in_requested_mode():
+    adapter = get_adapter("bitcoin-ng")
+    for mode in ("incremental", "full", "audit"):
+        inst = RunInstrumentation(check=True, check_mode=mode)
+        runtime = inst.build_sanitizer(adapter)
+        assert runtime.mode == mode
+        assert len(runtime.checkers) == len(ng_checkers())
+
+
+def test_adapter_can_opt_out_of_incremental_checking():
+    class Legacy:
+        supports_incremental_check = False
+
+        def invariant_checkers(self, mode="incremental"):
+            assert mode == "full"
+            return ng_checkers(mode)
+
+    inst = RunInstrumentation(check=True, check_mode="incremental")
+    runtime = inst.build_sanitizer(Legacy())
+    assert runtime.mode == "full"
+
+
+def test_legacy_adapter_without_mode_parameter_still_works():
+    class Old:
+        def invariant_checkers(self):  # pre-mode signature
+            return ng_checkers()
+
+    inst = RunInstrumentation(check=True, check_mode="incremental")
+    runtime = inst.build_sanitizer(Old())
+    assert runtime is not None
+    assert len(runtime.checkers) == len(ng_checkers())
+
+
+def test_resolve_check_mode_resolution_order():
+    assert resolve_check_mode(None, "") is None
+    assert resolve_check_mode(None, "0") is None
+    assert resolve_check_mode(None, "1") == "incremental"
+    assert resolve_check_mode(None, "full") == "full"
+    assert resolve_check_mode(None, "audit") == "audit"
+    assert resolve_check_mode("full", "audit") == "full"  # flag wins
+    assert resolve_check_mode("incremental", "") == "incremental"
+
+
+def test_config_rejects_unknown_check_mode():
+    with pytest.raises(ValueError, match="check_mode"):
+        ExperimentConfig(check_mode="bogus")
+
+
+# -- end-to-end equivalence ---------------------------------------------------
+
+CHECKED = dict(
+    n_nodes=10,
+    target_blocks=10,
+    target_key_blocks=4,
+    block_rate=0.2,
+    block_size_bytes=5_000,
+    key_block_rate=0.05,
+    cooldown=10.0,
+    seed=11,
+    protocol="bitcoin-ng",
+)
+
+
+def test_checked_modes_are_bit_identical_to_bare():
+    bare, _ = run_experiment(ExperimentConfig(**CHECKED))
+    reference = None
+    for mode in ("incremental", "full", "audit"):
+        config = ExperimentConfig(
+            check=True, check_mode=mode, check_stride=32, **CHECKED
+        )
+        result, _log = run_experiment(config)
+        assert result.violations == ()
+        assert result.as_row() == bare.as_row(), mode
+        assert result.blocks_generated == bare.blocks_generated, mode
+        assert result.events_processed == bare.events_processed, mode
+        assert result.messages_delivered == bare.messages_delivered, mode
+        if reference is None:
+            reference = result
+        else:
+            assert result.as_row() == reference.as_row(), mode
+
+
+def test_leader_crash_scenario_clean_under_incremental_check():
+    scenario = load_scenario("examples/leader_crash.json")
+    config = ExperimentConfig(
+        protocol="bitcoin-ng",
+        n_nodes=10,
+        target_blocks=50,
+        target_key_blocks=6,
+        block_rate=0.2,
+        block_size_bytes=5_000,
+        key_block_rate=0.05,
+        cooldown=10.0,
+        seed=11,
+        check=True,
+        check_mode="incremental",
+        check_stride=32,
+        scenario=scenario,
+    )
+    result, _log = run_experiment(config)
+    assert result.faults_injected >= 1  # the crash actually fired
+    assert result.violations == ()
+
+
+def test_deprecated_invariant_violations_property_warns():
+    result, _log = run_experiment(
+        ExperimentConfig(n_nodes=8, target_blocks=5, seed=3)
+    )
+    with pytest.warns(DeprecationWarning, match="invariant_violations"):
+        assert result.invariant_violations == 0
+
+
+# -- the stable facade --------------------------------------------------------
+
+
+def test_api_facade_exports_resolve():
+    import repro.api as api
+
+    for name in api.__all__:
+        assert getattr(api, name) is not None, name
+    # The facade's names are the same objects the internals use.
+    assert api.run_experiment is run_experiment
+    assert api.SanitizerRuntime is SanitizerRuntime
+
+
+def test_node_delta_touches_and_dirty_components():
+    delta = NodeDelta(chain=True, utxo=True)
+    assert delta.touches({"chain"})
+    assert delta.touches({"utxo", "mempool"})
+    assert not delta.touches({"mempool", "poisons"})
+    assert not delta.touches(frozenset())
+    assert delta.dirty_components == frozenset({"chain", "utxo"})
