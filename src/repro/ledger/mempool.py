@@ -20,7 +20,7 @@ from .transactions import OutPoint, Transaction
 DEFAULT_MAX_ENTRIES = 1_000_000
 
 
-class Mempool:
+class Mempool:  # repro: versioned
     """Pending-transaction store with spend-conflict tracking."""
 
     def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:

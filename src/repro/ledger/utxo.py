@@ -38,7 +38,7 @@ class UndoRecord:
     created: list[OutPoint] = field(default_factory=list)
 
 
-class UtxoSet:
+class UtxoSet:  # repro: versioned
     """Mutable set of unspent transaction outputs.
 
     Not thread-safe; each simulated node owns its own instance.

@@ -29,14 +29,19 @@ from .findings import (
     split_by_baseline,
     write_baseline,
 )
-from .rules import RULES, Rule, all_rules, register
+from .rules import RULES, LintRule, Rule, all_rules, register
+from .semantic import SemanticIndex, SemanticRule, build_index
 
 __all__ = [
     "Finding",
     "LintReport",
+    "LintRule",
     "RULES",
     "Rule",
+    "SemanticIndex",
+    "SemanticRule",
     "all_rules",
+    "build_index",
     "collect_files",
     "lint_paths",
     "load_baseline",

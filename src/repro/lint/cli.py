@@ -14,7 +14,7 @@ import sys
 from pathlib import Path
 
 from .engine import LintReport, lint_paths
-from .findings import load_baseline, write_baseline
+from .findings import describe_stale_entry, load_baseline, write_baseline
 from .rules import RULES
 
 #: Where the bad/good example fixtures live, relative to the repo root.
@@ -27,6 +27,7 @@ FAMILIES = {
     "NG3": "ordering",
     "NG4": "layering",
     "NG5": "arithmetic",
+    "NG6": "semantic",
 }
 
 
@@ -85,6 +86,20 @@ def add_lint_parser(commands: argparse._SubParsersAction) -> None:
         "--list-rules",
         action="store_true",
         help="print the rule table (code, family, rationale) and exit",
+    )
+    parser.add_argument(
+        "--why",
+        action="store_true",
+        help="append call-path explanations to NG6xx findings",
+    )
+    parser.add_argument(
+        "--semantic-cache",
+        metavar="FILE",
+        default=None,
+        help=(
+            "on-disk semantic index cache (JSON); unchanged modules "
+            "are reused across runs instead of re-extracted"
+        ),
     )
     parser.set_defaults(handler=cmd_lint)
 
@@ -173,9 +188,14 @@ def _resolve_codes(args: argparse.Namespace) -> list[str] | None:
     return sorted(set(RULES) - codes)
 
 
-def _print_text(report: LintReport, baseline_path: str | None) -> None:
+def _print_text(
+    report: LintReport,
+    baseline_path: str | None,
+    *,
+    show_why: bool = False,
+) -> None:
     for finding in report.findings:
-        print(finding.format())
+        print(finding.format(show_why=show_why))
     summary = (
         f"{len(report.findings)} finding(s) in "
         f"{report.files_scanned} file(s)"
@@ -189,9 +209,10 @@ def _print_text(report: LintReport, baseline_path: str | None) -> None:
         summary += f" ({', '.join(extras)})"
     print(summary)
     for fingerprint in report.stale_baseline:
+        path, code, _ = describe_stale_entry(fingerprint)
         print(
-            f"warning: stale baseline entry (fixed? remove it from "
-            f"{baseline_path}): {fingerprint}",
+            f"warning: stale baseline entry {code} in {path} "
+            f"(fixed? remove it from {baseline_path}): {fingerprint}",
             file=sys.stderr,
         )
 
@@ -221,7 +242,12 @@ def cmd_lint(args: argparse.Namespace) -> int:
                 return 2
 
     try:
-        report = lint_paths(args.paths, baseline=baseline, codes=codes)
+        report = lint_paths(
+            args.paths,
+            baseline=baseline,
+            codes=codes,
+            semantic_cache=args.semantic_cache,
+        )
     except (FileNotFoundError, SyntaxError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -238,5 +264,5 @@ def cmd_lint(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(report.to_payload(), indent=2, sort_keys=True))
     else:
-        _print_text(report, args.baseline)
+        _print_text(report, args.baseline, show_why=args.why)
     return 0 if report.clean else 1

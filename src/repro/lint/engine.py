@@ -1,19 +1,20 @@
-"""The analyzer driver: collect files, run rules, apply escape hatches.
+"""The analyzer driver: collect files, build the index, run both rule halves.
 
-Two passes over the scanned tree:
+One lint run has three stages:
 
-1. a *type-hint harvest* that records every identifier the project
-   annotates (or assigns) as a ``set``/``frozenset`` — attribute names
-   from ``self.x: set[int]``, dataclass fields, function parameters,
-   and plain assignments from ``set()``/``frozenset()`` calls.  The
-   harvest is project-wide, so ``repro.net.network`` iterating
-   ``topology.edges`` is caught even though ``edges`` is declared in
-   ``repro.net.topology``;
-2. the rule visitors themselves, one instance per (rule, module).
+1. parse every scanned file once;
+2. build (or incrementally refresh) the **semantic index** — symbol
+   tables, class-resolution map, approximate call graph, and dataflow
+   summaries, cached on disk keyed by per-file content hashes (see
+   :mod:`repro.lint.semantic`).  The old project-wide set/tuple-dict
+   "harvests" now come off the index too, instead of a second AST pass;
+3. run the per-module AST rules (one visitor instance per rule ×
+   module) and the project-wide semantic rules (one :meth:`check` call
+   per rule), then route everything through inline suppressions and
+   the optional baseline.
 
-Findings then pass through inline suppressions and the optional
-baseline, and come out sorted by (path, line, code) so output is stable
-for tests and CI diffs.
+Findings come out sorted by (path, line, code) so output is stable for
+tests and CI diffs.
 """
 
 from __future__ import annotations
@@ -22,10 +23,12 @@ import ast
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterable, Sequence
+from typing import Any, Sequence, cast
 
 from .findings import Finding, is_suppressed, split_by_baseline
 from .rules import ImportMap, ModuleContext, Rule, all_rules
+from .semantic.index import SemanticIndex, build_index
+from .semantic.rules import SemanticRule
 
 #: Fixture files (and only fixtures) may claim a module identity so
 #: layer/allowlist rules can be exercised outside the real tree.
@@ -47,6 +50,8 @@ class LintReport:
     baselined: int  #: hits hidden by the baseline file
     stale_baseline: list[str]  #: baseline entries matching nothing
     files_scanned: int
+    index_cache_hits: int = 0  #: module summaries reused from disk
+    index_cache_misses: int = 0  #: module summaries re-extracted
 
     @property
     def clean(self) -> bool:
@@ -63,6 +68,8 @@ class LintReport:
                 "suppressed": self.suppressed,
                 "baselined": self.baselined,
                 "stale_baseline": self.stale_baseline,
+                "index_cache_hits": self.index_cache_hits,
+                "index_cache_misses": self.index_cache_misses,
             },
         }
 
@@ -74,6 +81,7 @@ class _ParsedModule:
     module: str
     tree: ast.Module
     lines: list[str] = field(default_factory=list)
+    source: str = ""
 
 
 def collect_files(paths: Sequence[str | Path]) -> list[Path]:
@@ -111,109 +119,6 @@ def _module_name(path: Path, lines: list[str]) -> str:
     return infer_module(path)
 
 
-def _annotation_is_setlike(annotation: ast.expr | None) -> bool:
-    if annotation is None:
-        return False
-    for node in ast.walk(annotation):
-        if isinstance(node, ast.Name) and node.id in (
-            "set",
-            "frozenset",
-            "Set",
-            "FrozenSet",
-        ):
-            return True
-    return False
-
-
-def _target_identifier(target: ast.expr) -> str | None:
-    if isinstance(target, ast.Name):
-        return target.id
-    if isinstance(target, ast.Attribute) and isinstance(
-        target.value, ast.Name
-    ):
-        return target.attr
-    return None
-
-
-def _annotation_is_tuple_keyed_dict(annotation: ast.expr | None) -> bool:
-    if annotation is None:
-        return False
-    for node in ast.walk(annotation):
-        if (
-            isinstance(node, ast.Subscript)
-            and isinstance(node.value, ast.Name)
-            and node.value.id in ("dict", "Dict")
-            and isinstance(node.slice, ast.Tuple)
-            and node.slice.elts
-        ):
-            key = node.slice.elts[0]
-            for part in ast.walk(key):
-                if isinstance(part, ast.Name) and part.id in (
-                    "tuple",
-                    "Tuple",
-                ):
-                    return True
-    return False
-
-
-def harvest_set_identifiers(trees: Iterable[ast.Module]) -> frozenset[str]:
-    """Identifiers the project declares or builds as set/frozenset.
-
-    Over-approximates on purpose (a name counts if *any* module types
-    it as a set): the consumer rule (NG301) only fires when the loop
-    body is effectful, and a stray hit is one ``sorted()`` or inline
-    suppression away — cheap compared to a silent ordering heisenbug.
-    """
-    names: set[str] = set()
-    for tree in trees:
-        for node in ast.walk(tree):
-            if isinstance(node, ast.AnnAssign):
-                if _annotation_is_setlike(node.annotation):
-                    identifier = _target_identifier(node.target)
-                    if identifier:
-                        names.add(identifier)
-            elif isinstance(node, ast.arg):
-                if _annotation_is_setlike(node.annotation):
-                    names.add(node.arg)
-            elif isinstance(node, ast.Assign):
-                value = node.value
-                is_set_value = isinstance(value, ast.Set) or (
-                    isinstance(value, ast.Call)
-                    and isinstance(value.func, ast.Name)
-                    and value.func.id in ("set", "frozenset")
-                )
-                if is_set_value:
-                    for target in node.targets:
-                        identifier = _target_identifier(target)
-                        if identifier:
-                            names.add(identifier)
-    return frozenset(names)
-
-
-def harvest_tuple_dict_identifiers(
-    trees: Iterable[ast.Module],
-) -> frozenset[str]:
-    """Identifiers the project annotates as ``dict[tuple[...], ...]``.
-
-    Feeds NG303: inside ``repro.net``, *iterating* one of these is a
-    hot-path layout smell — per-edge state belongs in flat CSR edge-id
-    arrays, with tuple-keyed dicts kept to point lookups.  Like the set
-    harvest above, this is project-wide and over-approximates by name.
-    """
-    names: set[str] = set()
-    for tree in trees:
-        for node in ast.walk(tree):
-            if isinstance(node, ast.AnnAssign):
-                if _annotation_is_tuple_keyed_dict(node.annotation):
-                    identifier = _target_identifier(node.target)
-                    if identifier:
-                        names.add(identifier)
-            elif isinstance(node, ast.arg):
-                if _annotation_is_tuple_keyed_dict(node.annotation):
-                    names.add(node.arg)
-    return frozenset(names)
-
-
 def _parse(path: Path) -> _ParsedModule:
     source = path.read_text(encoding="utf-8")
     lines = source.splitlines()
@@ -224,6 +129,22 @@ def _parse(path: Path) -> _ParsedModule:
         module=_module_name(path, lines),
         tree=tree,
         lines=lines,
+        source=source,
+    )
+
+
+def build_semantic_index(
+    modules: Sequence[_ParsedModule],
+    *,
+    cache_path: Path | None = None,
+) -> SemanticIndex:
+    """The project-wide index for one parsed module set."""
+    return build_index(
+        [
+            (m.display_path, m.module, m.tree, m.lines, m.source)
+            for m in modules
+        ],
+        cache_path=cache_path,
     )
 
 
@@ -232,18 +153,23 @@ def lint_paths(
     *,
     baseline: dict[str, str] | None = None,
     codes: Sequence[str] | None = None,
+    semantic_cache: str | Path | None = None,
 ) -> LintReport:
     """Run every registered rule over ``paths`` and apply escape hatches.
 
     ``codes`` restricts the run to a subset of rule codes (used by the
-    fixture tests to exercise one rule at a time).
+    fixture tests to exercise one rule at a time).  ``semantic_cache``
+    names the on-disk index cache; without it the index is rebuilt from
+    scratch each run (still one pass, just no cross-run reuse).
     """
     files = collect_files(paths)
     modules = [_parse(path) for path in files]
-    set_attrs = harvest_set_identifiers(m.tree for m in modules)
-    tuple_dict_attrs = harvest_tuple_dict_identifiers(
-        m.tree for m in modules
+    index = build_semantic_index(
+        modules,
+        cache_path=Path(semantic_cache) if semantic_cache else None,
     )
+    set_attrs = index.set_identifiers()
+    tuple_dict_attrs = index.tuple_dict_identifiers()
 
     selected = all_rules()
     if codes is not None:
@@ -251,6 +177,17 @@ def lint_paths(
         if unknown:
             raise KeyError(f"unknown rule codes: {sorted(unknown)}")
         selected = [rule for rule in selected if rule.code in set(codes)]
+    ast_rules = [
+        cast("type[Rule]", rule) for rule in selected
+        if issubclass(rule, Rule)
+    ]
+    semantic_rules = [
+        cast("type[SemanticRule]", rule) for rule in selected
+        if issubclass(rule, SemanticRule)
+    ]
+
+    lines_by_path = {m.display_path: m.lines for m in modules}
+    module_by_path = {m.display_path: m.module for m in modules}
 
     raw: list[Finding] = []
     suppressed = 0
@@ -263,7 +200,7 @@ def lint_paths(
             set_attrs=set_attrs,
             tuple_dict_attrs=tuple_dict_attrs,
         )
-        for rule_cls in selected:
+        for rule_cls in ast_rules:
             if not rule_cls.applies_to(parsed.module):
                 continue
             rule: Rule = rule_cls(context)
@@ -274,6 +211,17 @@ def lint_paths(
                 else:
                     raw.append(finding)
 
+    for semantic_cls in semantic_rules:
+        semantic_rule = semantic_cls()
+        for finding in semantic_rule.check(index, lines_by_path):
+            module = module_by_path.get(finding.path, "")
+            if not semantic_cls.applies_to(module):
+                continue
+            if is_suppressed(finding, lines_by_path.get(finding.path, [])):
+                suppressed += 1
+            else:
+                raw.append(finding)
+
     raw.sort(key=lambda f: (f.path, f.line, f.code))
     new, hidden, stale = split_by_baseline(raw, baseline or {})
     return LintReport(
@@ -282,4 +230,6 @@ def lint_paths(
         baselined=len(hidden),
         stale_baseline=stale,
         files_scanned=len(files),
+        index_cache_hits=index.cache_hits,
+        index_cache_misses=index.cache_misses,
     )

@@ -40,6 +40,9 @@ class Finding:
     code: str  #: rule code, e.g. ``"NG101"``
     message: str  #: human explanation of this specific hit
     snippet: str  #: the offending source line, stripped
+    #: Interprocedural call-path explanation (NG6xx); one step per line,
+    #: rendered by ``repro lint --why``.
+    why: tuple[str, ...] = ()
 
     @property
     def fingerprint(self) -> str:
@@ -60,6 +63,7 @@ class Finding:
             "code": self.code,
             "message": self.message,
             "snippet": self.snippet,
+            "why": list(self.why),
             "fingerprint": self.fingerprint,
         }
 
@@ -72,14 +76,26 @@ class Finding:
             code=data["code"],
             message=data["message"],
             snippet=data["snippet"],
+            why=tuple(data.get("why", ())),
         )
 
-    def format(self) -> str:
-        """The two-line text rendering used by the CLI."""
-        return (
+    def format(self, *, show_why: bool = False) -> str:
+        """The two-line text rendering used by the CLI.
+
+        With ``show_why``, NG6xx findings append their call-path
+        explanation, one indented ``because:``/``then:`` step per line.
+        """
+        text = (
             f"{self.path}:{self.line}:{self.col + 1}: "
             f"{self.code} {self.message}\n    {self.snippet}"
         )
+        if show_why and self.why:
+            steps = [
+                f"    {'because' if index == 0 else 'then'}: {step}"
+                for index, step in enumerate(self.why)
+            ]
+            text = "\n".join([text, *steps])
+        return text
 
 
 def suppressed_codes(lines: list[str], line: int) -> set[str]:
@@ -163,3 +179,17 @@ def split_by_baseline(
             new.append(finding)
     stale = sorted(set(baseline) - seen)
     return new, hidden, stale
+
+
+def describe_stale_entry(fingerprint: str) -> tuple[str, str, str]:
+    """``(path, code, digest)`` parsed back out of a baseline fingerprint.
+
+    Fingerprints are ``{path}:{code}:{digest}``; the path may itself
+    contain colons only on exotic filesystems, so we split from the
+    right.  Malformed entries (hand-edited baselines) degrade to
+    placeholders rather than crashing the stale report.
+    """
+    parts = fingerprint.rsplit(":", 2)
+    if len(parts) == 3 and parts[1] and parts[2]:
+        return parts[0], parts[1], parts[2]
+    return fingerprint, "?", "?"

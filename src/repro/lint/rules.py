@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import ClassVar
+from typing import ClassVar, TypeVar
 
 from .findings import Finding
 
@@ -136,8 +136,15 @@ class ModuleContext:
     tuple_dict_attrs: frozenset[str] = frozenset()
 
 
-class Rule(ast.NodeVisitor):
-    """One determinism rule: a code, a rationale, and a visitor."""
+class LintRule:
+    """Shared metadata surface of every rule, AST-local or semantic.
+
+    The registry, the CLI's ``--explain``/``--list-rules``, and the
+    fixture tests only need this: a code, a name, a rationale, and a
+    byte-pinned bad/good example pair.  :class:`Rule` adds the per-
+    module AST visitor half; :class:`repro.lint.semantic.rules
+    .SemanticRule` adds the project-wide index half.
+    """
 
     code: ClassVar[str]
     name: ClassVar[str]
@@ -147,16 +154,20 @@ class Rule(ast.NodeVisitor):
     #: Module prefixes where this rule is policy-exempt.
     allowed_modules: ClassVar[tuple[str, ...]] = ()
 
-    def __init__(self, context: ModuleContext) -> None:
-        self.context = context
-        self.findings: list[Finding] = []
-
     @classmethod
     def applies_to(cls, module: str) -> bool:
         return not any(
             module == allowed or module.startswith(allowed + ".")
             for allowed in cls.allowed_modules
         )
+
+
+class Rule(LintRule, ast.NodeVisitor):
+    """One per-module determinism rule: a code, a rationale, a visitor."""
+
+    def __init__(self, context: ModuleContext) -> None:
+        self.context = context
+        self.findings: list[Finding] = []
 
     def report(self, node: ast.AST, message: str) -> None:
         line = getattr(node, "lineno", 1)

@@ -1,0 +1,451 @@
+"""The project-wide semantic index: assembly, resolution, and caching.
+
+A :class:`SemanticIndex` is the union of every scanned module's
+:class:`~repro.lint.semantic.model.ModuleSummary` plus the cross-module
+machinery the NG6xx rules need:
+
+* dotted-module lookup and a scanned-base-chain walk (an approximate
+  MRO: DFS over resolved base names, restricted to scanned classes);
+* call-site resolution into ``(module, class | None, function)`` owners;
+* a project-wide *param-mutation fixpoint*: which parameters of which
+  functions are mutated, directly or transitively through resolved call
+  edges, each with a witness chain for ``--why``.
+
+The index is cached on disk as one JSON document keyed by per-module
+content hashes: a lint run reuses every summary whose source hash is
+unchanged and re-extracts only edited modules, which is what keeps
+``repro lint`` inside its wall-clock budget on warm runs.  The JSON
+rendering is deterministic (sorted keys, stable per-module ordering) —
+a test pins it byte-identical across runs.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+from .extract import content_sha, extract_module
+from .model import ClassSummary, FunctionSummary, ModuleSummary, ParamRef
+
+#: Bump when summary extraction or the serialized shape changes: a
+#: version mismatch discards the whole cache rather than mixing schemas.
+INDEX_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FunctionKey:
+    """Stable identity of one function in the index."""
+
+    display_path: str
+    class_name: str | None
+    function: str
+
+    def pretty(self) -> str:
+        if self.class_name:
+            return f"{self.class_name}.{self.function}"
+        return self.function
+
+
+@dataclass(frozen=True)
+class MutationWitness:
+    """Why a parameter counts as mutated: a direct write or a call edge."""
+
+    kind: str  #: ``"direct"`` or ``"via"``
+    display_path: str
+    lineno: int
+    desc: str  #: source line (direct) or callee description (via)
+    #: For ``via``: the callee's (key, param) the mutation flows from.
+    callee: FunctionKey | None = None
+    callee_param: str | None = None
+
+
+@dataclass
+class SemanticIndex:
+    """Project-wide symbol/call-graph/dataflow index for one lint run."""
+
+    modules: dict[str, ModuleSummary] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def __post_init__(self) -> None:
+        self._by_module_name: dict[str, ModuleSummary] = {}
+        for path in sorted(self.modules):
+            summary = self.modules[path]
+            self._by_module_name.setdefault(summary.module, summary)
+        self._mutated: dict[FunctionKey, dict[str, MutationWitness]] | None = None
+
+    # -- lookup --------------------------------------------------------------
+
+    def module_named(self, dotted: str) -> ModuleSummary | None:
+        return self._by_module_name.get(dotted)
+
+    def function_at(self, key: FunctionKey) -> FunctionSummary | None:
+        summary = self.modules.get(key.display_path)
+        if summary is None:
+            return None
+        if key.class_name is None:
+            return summary.functions.get(key.function)
+        cls = summary.classes.get(key.class_name)
+        if cls is None:
+            return None
+        return cls.methods.get(key.function)
+
+    def iter_functions(
+        self,
+    ) -> Iterator[tuple[ModuleSummary, ClassSummary | None, FunctionSummary]]:
+        """Every function and method, in deterministic order."""
+        for path in sorted(self.modules):
+            summary = self.modules[path]
+            for name in sorted(summary.functions):
+                yield summary, None, summary.functions[name]
+            for class_name in sorted(summary.classes):
+                cls = summary.classes[class_name]
+                for method_name in sorted(cls.methods):
+                    yield summary, cls, cls.methods[method_name]
+
+    # -- class hierarchy -----------------------------------------------------
+
+    def base_chain(
+        self, summary: ModuleSummary, cls: ClassSummary
+    ) -> tuple[list[tuple[ModuleSummary, ClassSummary]], list[str]]:
+        """Scanned ancestors (DFS, nearest first) and unresolved bases.
+
+        A base resolves when its dotted (or bare, same-module) name
+        names a scanned class; anything else — stdlib bases, unscanned
+        third-party classes — lands in the unresolved list so rules can
+        degrade conservatively.
+        """
+        resolved: list[tuple[ModuleSummary, ClassSummary]] = []
+        unresolved: list[str] = []
+        seen: set[tuple[str, str]] = {(summary.display_path, cls.name)}
+        stack: list[tuple[ModuleSummary, ClassSummary]] = [(summary, cls)]
+        while stack:
+            mod, current = stack.pop(0)
+            for base in current.bases:
+                found = self._find_class(base, mod)
+                if found is None:
+                    unresolved.append(base)
+                    continue
+                base_mod, base_cls = found
+                ident = (base_mod.display_path, base_cls.name)
+                if ident in seen:
+                    continue
+                seen.add(ident)
+                resolved.append(found)
+                stack.append(found)
+        return resolved, unresolved
+
+    def _find_class(
+        self, base: str, referrer: ModuleSummary
+    ) -> tuple[ModuleSummary, ClassSummary] | None:
+        if "." in base:
+            module, _, name = base.rpartition(".")
+            target = self.module_named(module)
+            if target is not None and name in target.classes:
+                return target, target.classes[name]
+            return None
+        if base in referrer.classes:
+            return referrer, referrer.classes[base]
+        return None
+
+    def extends(
+        self, summary: ModuleSummary, cls: ClassSummary, targets: frozenset[str]
+    ) -> bool:
+        """Whether any (transitive) base name matches ``targets``.
+
+        Matches both resolved dotted names and bare unresolved names,
+        so fixtures importing the real base and the real tree both hit.
+        """
+        if cls.name in targets:
+            return False  # the contract class itself is not a subject
+        resolved, unresolved = self.base_chain(summary, cls)
+        for base_mod, base_cls in resolved:
+            dotted = f"{base_mod.module}.{base_cls.name}"
+            if dotted in targets or base_cls.name in targets:
+                return True
+        for base in unresolved:
+            bare = base.rpartition(".")[2]
+            if base in targets or bare in targets:
+                return True
+        return False
+
+    def resolve_method(
+        self, summary: ModuleSummary, cls: ClassSummary, method: str
+    ) -> tuple[FunctionKey, FunctionSummary] | None:
+        """Find ``method`` on the class or its scanned ancestors."""
+        if method in cls.methods:
+            key = FunctionKey(summary.display_path, cls.name, method)
+            return key, cls.methods[method]
+        resolved, _ = self.base_chain(summary, cls)
+        for base_mod, base_cls in resolved:
+            if method in base_cls.methods:
+                key = FunctionKey(
+                    base_mod.display_path, base_cls.name, method
+                )
+                return key, base_cls.methods[method]
+        return None
+
+    # -- call resolution -----------------------------------------------------
+
+    def resolve_call(
+        self,
+        summary: ModuleSummary,
+        cls: ClassSummary | None,
+        kind: str,
+        target: tuple[str, ...],
+    ) -> tuple[FunctionKey, FunctionSummary] | None:
+        """Resolve a classified call site to a scanned function.
+
+        Calls into classes resolve to their ``__init__`` (constructor
+        argument mutation is still mutation); unknown kinds and
+        unscanned targets return ``None`` — the analyses skip them.
+        """
+        if kind == "self" and cls is not None:
+            return self.resolve_method(summary, cls, target[0])
+        if kind == "local":
+            name = target[0]
+            if name in summary.functions:
+                return (
+                    FunctionKey(summary.display_path, None, name),
+                    summary.functions[name],
+                )
+            if name in summary.classes:
+                return self.resolve_method(
+                    summary, summary.classes[name], "__init__"
+                )
+            return None
+        if kind in ("import", "module"):
+            module_name, name = target
+            target_mod = self.module_named(module_name)
+            if target_mod is None:
+                return None
+            if name in target_mod.functions:
+                return (
+                    FunctionKey(target_mod.display_path, None, name),
+                    target_mod.functions[name],
+                )
+            if name in target_mod.classes:
+                return self.resolve_method(
+                    target_mod, target_mod.classes[name], "__init__"
+                )
+        return None
+
+    # -- harvests (NG301 / NG303 feeds) --------------------------------------
+
+    def set_identifiers(self) -> frozenset[str]:
+        names: set[str] = set()
+        for summary in self.modules.values():
+            names.update(summary.set_idents)
+        return frozenset(names)
+
+    def tuple_dict_identifiers(self) -> frozenset[str]:
+        names: set[str] = set()
+        for summary in self.modules.values():
+            names.update(summary.tuple_dict_idents)
+        return frozenset(names)
+
+    # -- param-mutation fixpoint ---------------------------------------------
+
+    def mutated_params(self) -> dict[FunctionKey, dict[str, MutationWitness]]:
+        """Which parameters each function mutates, transitively.
+
+        Seeds are each function's direct ``param_mutations``; edges are
+        resolved call sites whose argument taint roots in a caller
+        parameter.  Propagation iterates to a fixpoint (monotone, so it
+        terminates); each entry keeps the *first* witness found, which
+        the deterministic iteration order makes stable.
+        """
+        if self._mutated is not None:
+            return self._mutated
+        mutated: dict[FunctionKey, dict[str, MutationWitness]] = {}
+        for summary, cls, fn in self.iter_functions():
+            key = FunctionKey(
+                summary.display_path, cls.name if cls else None, fn.name
+            )
+            for write in fn.param_mutations:
+                mutated.setdefault(key, {}).setdefault(
+                    write.target,
+                    MutationWitness(
+                        "direct", summary.display_path, write.lineno,
+                        write.desc,
+                    ),
+                )
+
+        # (caller, caller_param) ← (callee, callee_param) edges.
+        edges: list[tuple[FunctionKey, str, FunctionKey, str, int]] = []
+        for summary, cls, fn in self.iter_functions():
+            caller = FunctionKey(
+                summary.display_path, cls.name if cls else None, fn.name
+            )
+            for call in fn.calls:
+                resolved = self.resolve_call(summary, cls, call.kind,
+                                             call.target)
+                if resolved is None:
+                    continue
+                callee_key, callee_fn = resolved
+                for taint, param in _bind_call_args(call, callee_fn):
+                    if taint.root == "self" or taint.root not in fn.params:
+                        continue
+                    edges.append(
+                        (caller, taint.root, callee_key, param, call.lineno)
+                    )
+
+        changed = True
+        while changed:
+            changed = False
+            for caller, caller_param, callee, callee_param, lineno in edges:
+                if callee_param not in mutated.get(callee, {}):
+                    continue
+                slot = mutated.setdefault(caller, {})
+                if caller_param not in slot:
+                    slot[caller_param] = MutationWitness(
+                        "via",
+                        caller.display_path,
+                        lineno,
+                        f"{callee.pretty()}(… {callee_param} …)",
+                        callee=callee,
+                        callee_param=callee_param,
+                    )
+                    changed = True
+        self._mutated = mutated
+        return mutated
+
+    def witness_chain(
+        self, key: FunctionKey, param: str, limit: int = 8
+    ) -> list[str]:
+        """Human-readable call path explaining a mutated parameter."""
+        mutated = self.mutated_params()
+        chain: list[str] = []
+        seen: set[tuple[str, str | None, str, str]] = set()
+        current_key, current_param = key, param
+        while len(chain) < limit:
+            witness = mutated.get(current_key, {}).get(current_param)
+            if witness is None:
+                break
+            ident = (
+                current_key.display_path,
+                current_key.class_name,
+                current_key.function,
+                current_param,
+            )
+            if ident in seen:
+                break
+            seen.add(ident)
+            if witness.kind == "direct":
+                chain.append(
+                    f"{witness.display_path}:{witness.lineno}: "
+                    f"`{current_key.pretty()}` writes `{current_param}`: "
+                    f"{witness.desc}"
+                )
+                break
+            assert witness.callee is not None
+            assert witness.callee_param is not None
+            chain.append(
+                f"{witness.display_path}:{witness.lineno}: "
+                f"`{current_key.pretty()}` passes `{current_param}` to "
+                f"`{witness.callee.pretty()}` as `{witness.callee_param}`"
+            )
+            current_key, current_param = witness.callee, witness.callee_param
+        return chain
+
+    # -- serialization -------------------------------------------------------
+
+    def to_json(self) -> str:
+        payload: dict[str, Any] = {
+            "version": INDEX_VERSION,
+            "modules": {
+                path: self.modules[path].to_dict()
+                for path in sorted(self.modules)
+            },
+        }
+        return json.dumps(payload, indent=1, sort_keys=True) + "\n"
+
+
+def _bind_call_args(
+    call: Any, callee: FunctionSummary
+) -> list[tuple[ParamRef, str]]:
+    """(argument taint, callee parameter) pairs for one resolved call."""
+    params = list(callee.params)
+    if callee.is_method and params and params[0] == "self":
+        params = params[1:]
+    bound: list[tuple[ParamRef, str]] = []
+    for index, arg in enumerate(call.args):
+        if arg.taint is None:
+            continue
+        if index < len(params):
+            bound.append((arg.taint, params[index]))
+    for name, arg in call.keywords:
+        if arg.taint is not None and name in params:
+            bound.append((arg.taint, name))
+    return bound
+
+
+# -- build + cache -----------------------------------------------------------
+
+
+def load_cache(path: Path) -> dict[str, ModuleSummary]:
+    """Cached module summaries by display path ({} on any mismatch)."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return {}
+    if not isinstance(data, dict) or data.get("version") != INDEX_VERSION:
+        return {}
+    cached: dict[str, ModuleSummary] = {}
+    try:
+        for key, entry in data.get("modules", {}).items():
+            cached[key] = ModuleSummary.from_dict(entry)
+    except (KeyError, TypeError, ValueError):
+        return {}
+    return cached
+
+
+def build_index(
+    parsed: list[tuple[str, str, ast.Module, list[str], str]],
+    *,
+    cache_path: Path | None = None,
+) -> SemanticIndex:
+    """Assemble the index for ``parsed`` modules, reusing cached summaries.
+
+    ``parsed`` entries are ``(display_path, module, tree, lines,
+    source)`` tuples.  With a ``cache_path``, summaries whose content
+    hash matches the cache are reused without re-extraction and the
+    refreshed cache is written back (best-effort — an unwritable cache
+    never fails the lint run).
+    """
+    cached: dict[str, ModuleSummary] = {}
+    if cache_path is not None and cache_path.exists():
+        cached = load_cache(cache_path)
+
+    modules: dict[str, ModuleSummary] = {}
+    hits = 0
+    misses = 0
+    for display_path, module, tree, lines, source in parsed:
+        sha = content_sha(source)
+        existing = cached.get(display_path)
+        if existing is not None and existing.sha == sha:
+            modules[display_path] = existing
+            hits += 1
+            continue
+        modules[display_path] = extract_module(
+            tree,
+            display_path=display_path,
+            module=module,
+            lines=lines,
+            sha=sha,
+        )
+        misses += 1
+
+    index = SemanticIndex(
+        modules=modules, cache_hits=hits, cache_misses=misses
+    )
+    if cache_path is not None:
+        try:
+            cache_path.parent.mkdir(parents=True, exist_ok=True)
+            cache_path.write_text(index.to_json(), encoding="utf-8")
+        except OSError:
+            pass
+    return index

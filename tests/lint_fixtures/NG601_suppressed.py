@@ -1,0 +1,8 @@
+class FeeCache:  # repro: versioned
+    def __init__(self) -> None:
+        self.fees: dict[bytes, int] = {}
+        self.version = 0
+
+    # repro: allow[NG601]
+    def record(self, txid: bytes, fee: int) -> None:
+        self.fees[txid] = fee

@@ -1,0 +1,10 @@
+from repro.sanitizer.checkers import InvariantChecker
+
+
+class MempoolPurge(InvariantChecker):
+    code = "INV901"
+
+    def check_state(self, node, node_id, now):
+        for tx in node.mempool.transactions():
+            node.mempool.remove(tx.txid)
+        return []

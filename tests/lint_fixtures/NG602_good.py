@@ -1,0 +1,12 @@
+from repro.sanitizer.checkers import InvariantChecker
+
+
+class MempoolAudit(InvariantChecker):
+    code = "INV901"
+
+    def check_state(self, node, node_id, now):
+        violations = []
+        for tx in node.mempool.transactions():
+            if tx.size < 0:
+                violations.append(tx.txid)
+        return violations

@@ -1,0 +1,11 @@
+from repro.sanitizer.checkers import InvariantChecker
+
+
+class MempoolPurge(InvariantChecker):
+    code = "INV901"
+
+    # repro: allow[NG602]
+    def check_state(self, node, node_id, now):
+        for tx in node.mempool.transactions():
+            node.mempool.remove(tx.txid)
+        return []

@@ -1,0 +1,11 @@
+from repro.protocols import ProtocolAdapter
+
+
+class HalfPlugAdapter(ProtocolAdapter):
+    name = "halfplug"
+
+    def build_nodes(self, config, sim, network, log, shares):
+        return [], None
+
+    def invariant_checkers(self):
+        return []

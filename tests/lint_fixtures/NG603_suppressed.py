@@ -1,0 +1,12 @@
+from repro.protocols import ProtocolAdapter
+
+
+class HalfPlugAdapter(ProtocolAdapter):
+    name = "halfplug"
+
+    def build_nodes(self, config, sim, network, log, shares):
+        return [], None
+
+    # repro: allow[NG603]
+    def invariant_checkers(self):
+        return []

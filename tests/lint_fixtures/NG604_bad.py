@@ -1,0 +1,10 @@
+import random
+
+
+def jitter(latency_rng: random.Random) -> float:
+    return latency_rng.random()
+
+
+def sample(seed: int) -> float:
+    topo_rng = random.Random(seed * 11 + 3)
+    return jitter(topo_rng)

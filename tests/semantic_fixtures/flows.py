@@ -1,0 +1,7 @@
+"""Golden fixture: a cross-module call edge for the mutation fixpoint."""
+
+from helpers import mutate_store
+
+
+def touch(store) -> None:
+    mutate_store(store)

@@ -1,0 +1,13 @@
+"""Planted fixture: a versioned class whose write escapes via a self-call."""
+
+
+class Leaky:  # repro: versioned
+    def __init__(self) -> None:
+        self.rows: list[int] = []
+        self.version = 0
+
+    def _push(self, row: int) -> None:
+        self.rows.append(row)
+
+    def push(self, row: int) -> None:
+        self._push(row)

@@ -1,0 +1,28 @@
+"""Golden fixture: a versioned container exercising the bump analysis.
+
+`Store.put` bumps directly; `put_many` bumps *through* the self-call
+(its bump formula is `("call", "put")`); `drop` has a guard clause
+whose early return must not poison the formula.  All three are clean
+under NG601 — the symbol-table and call-graph golden tests pin their
+extracted summaries instead.
+"""
+
+
+class Store:  # repro: versioned
+    def __init__(self) -> None:
+        self.items: dict[str, int] = {}
+        self.version = 0
+
+    def put(self, key: str, value: int) -> None:
+        self.items[key] = value
+        self.version += 1
+
+    def put_many(self, pairs) -> None:
+        for key, value in pairs:
+            self.put(key, value)
+
+    def drop(self, key: str) -> None:
+        if key not in self.items:
+            return
+        del self.items[key]
+        self.version += 1

@@ -85,6 +85,37 @@ def test_stale_baseline_entry_is_reported(tmp_path, capsys):
     assert main(["lint", str(clean), "--baseline", str(baseline)]) == 0
     err = capsys.readouterr().err
     assert "stale baseline entry" in err
+    # The stale report names the rule code and file, not just the
+    # opaque fingerprint, so baseline cleanup is not guesswork.
+    assert "NG101 in gone.py" in err
+
+
+def test_why_appends_call_path_to_semantic_findings(capsys):
+    bad = FIXTURES / "NG602_bad.py"
+    assert main(["lint", str(bad), "--why"]) == 1
+    out = capsys.readouterr().out
+    assert "NG602" in out
+    assert "because:" in out
+    assert "node.mempool.remove(tx.txid)" in out
+    # Without --why the call path stays out of the rendering.
+    assert main(["lint", str(bad)]) == 1
+    assert "because:" not in capsys.readouterr().out
+
+
+def test_semantic_cache_is_written_and_reused(tmp_path, capsys):
+    cache = tmp_path / "index.json"
+    src = tmp_path / "mod.py"
+    src.write_text("def f(x):\n    return x\n", encoding="utf-8")
+    assert main(["lint", str(src), "--semantic-cache", str(cache),
+                 "--json"]) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert cache.is_file()
+    assert first["summary"]["index_cache_misses"] == 1
+    assert main(["lint", str(src), "--semantic-cache", str(cache),
+                 "--json"]) == 0
+    second = json.loads(capsys.readouterr().out)
+    assert second["summary"]["index_cache_hits"] == 1
+    assert second["summary"]["index_cache_misses"] == 0
 
 
 def test_bad_baseline_version_exits_two(tmp_path, capsys):
@@ -170,7 +201,7 @@ def test_list_rules_prints_full_table(capsys):
         assert rule.name in out
     # Every family label appears.
     for family in ("rng", "clock/env", "ordering", "layering",
-                   "arithmetic"):
+                   "arithmetic", "semantic"):
         assert family in out
 
 

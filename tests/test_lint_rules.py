@@ -14,16 +14,17 @@ from pathlib import Path
 import pytest
 
 from repro.lint import RULES, lint_paths
-from repro.lint.engine import harvest_set_identifiers, infer_module
+from repro.lint.engine import infer_module
+from repro.lint.semantic import harvest_set_idents, harvest_tuple_dict_idents
 
 FIXTURES = Path(__file__).parent / "lint_fixtures"
 ALL_CODES = sorted(RULES)
 
 
-def test_twelve_rules_across_five_families():
+def test_rules_span_six_families():
     families = {code[:3] for code in ALL_CODES}
-    assert families == {"NG1", "NG2", "NG3", "NG4", "NG5"}
-    assert len(ALL_CODES) >= 12
+    assert families == {"NG1", "NG2", "NG3", "NG4", "NG5", "NG6"}
+    assert len(ALL_CODES) >= 16
 
 
 @pytest.mark.parametrize("code", ALL_CODES)
@@ -110,7 +111,7 @@ def test_harvest_identifier_sources():
         "    def f(self, group: frozenset[int] | None):\n"
         "        inline = {1, 2}\n"
     )
-    names = harvest_set_identifiers([tree])
+    names = set(harvest_set_idents(tree))
     assert {"peers", "blocked", "group", "inline"} <= names
 
 
@@ -175,8 +176,6 @@ def test_tuple_dict_point_lookup_not_flagged(tmp_path):
 def test_tuple_dict_harvest_identifier_sources():
     import ast
 
-    from repro.lint.engine import harvest_tuple_dict_identifiers
-
     tree = ast.parse(
         "class Net:\n"
         "    def __init__(self):\n"
@@ -185,7 +184,7 @@ def test_tuple_dict_harvest_identifier_sources():
         "def f(grid: dict[tuple[str, int], float]) -> None:\n"
         "    pass\n"
     )
-    names = harvest_tuple_dict_identifiers([tree])
+    names = set(harvest_tuple_dict_idents(tree))
     assert {"eids", "grid"} <= names
     assert "by_node" not in names
 

@@ -1,0 +1,235 @@
+"""Semantic index tests: symbol tables, call graph, cache, determinism.
+
+The fixture package under ``tests/semantic_fixtures/`` is the golden
+input: small modules exercising versioned classes, self-call bump
+coverage, cross-module call edges, and return-value taint.  The
+planted-bug tests then prove the NG6xx rules catch real violations:
+a `UtxoSet` copy with one `self.version += 1` deleted must trip NG601,
+and a checker that mutates a mempool through a helper must trip NG602.
+"""
+
+import ast
+import shutil
+from pathlib import Path
+
+from repro.lint import lint_paths
+from repro.lint.semantic import (
+    FunctionKey,
+    build_index,
+    rng_stream_tag,
+)
+from repro.lint.semantic.index import load_cache
+
+FIXTURES = Path(__file__).parent / "semantic_fixtures"
+SRC = Path(__file__).parent.parent / "src"
+
+
+def _parse_dir(directory: Path):
+    parsed = []
+    for path in sorted(directory.glob("*.py")):
+        source = path.read_text(encoding="utf-8")
+        parsed.append(
+            (
+                path.as_posix(),
+                path.stem,
+                ast.parse(source),
+                source.splitlines(),
+                source,
+            )
+        )
+    return parsed
+
+
+def _fixture_index():
+    return build_index(_parse_dir(FIXTURES))
+
+
+# -- symbol tables -----------------------------------------------------------
+
+
+def test_symbol_table_golden():
+    index = _fixture_index()
+    ledger = index.module_named("ledger")
+    assert ledger is not None
+    store = ledger.classes["Store"]
+    assert store.versioned
+    assert sorted(store.methods) == ["__init__", "drop", "put", "put_many"]
+    put = store.methods["put"]
+    assert put.params == ("self", "key", "value")
+    assert put.is_method
+    assert [w.target for w in put.self_writes] == ["items"]
+    assert put.bump_formula is True
+    # put_many bumps through the self-call; drop bumps past a guard.
+    assert store.methods["put_many"].bump_formula == ("call", "put")
+    assert store.methods["drop"].bump_formula is True
+
+
+def test_return_taint_propagates_through_same_module_calls():
+    """`chain = chain_of(node)` taints `chain` from `node`."""
+    index = _fixture_index()
+    helpers = index.module_named("helpers")
+    assert helpers.functions["chain_of"].returns_params == ("node",)
+    last = helpers.functions["last_block"]
+    assert [w.target for w in last.param_mutations] == ["node"]
+
+
+# -- call graph --------------------------------------------------------------
+
+
+def test_cross_module_call_resolution():
+    index = _fixture_index()
+    flows = index.module_named("flows")
+    (call,) = [
+        c for c in flows.functions["touch"].calls if c.kind == "import"
+    ]
+    assert call.target == ("helpers", "mutate_store")
+    resolved = index.resolve_call(flows, None, call.kind, call.target)
+    assert resolved is not None
+    key, fn = resolved
+    assert key.function == "mutate_store"
+    assert key.display_path.endswith("helpers.py")
+
+
+def test_mutation_fixpoint_and_witness_chain():
+    index = _fixture_index()
+    flows = index.module_named("flows")
+    key = FunctionKey(flows.display_path, None, "touch")
+    mutated = index.mutated_params()
+    assert "store" in mutated[key]
+    chain = index.witness_chain(key, "store")
+    assert len(chain) == 2
+    assert "passes `store` to `mutate_store`" in chain[0]
+    assert "writes `store`" in chain[1]
+
+
+# -- rng stream tags ---------------------------------------------------------
+
+
+def test_rng_stream_tag_parsing():
+    assert rng_stream_tag("topo_rng") == "topo"
+    assert rng_stream_tag("self._latency_rng") == "latency"
+    assert rng_stream_tag("rng_fault") == "fault"
+    assert rng_stream_tag("rng") is None  # generic: no stream claim
+    assert rng_stream_tag("sim.rng") is None
+    assert rng_stream_tag("seed") is None
+    assert rng_stream_tag(None) is None
+
+
+# -- determinism and cache ---------------------------------------------------
+
+
+def test_index_json_is_byte_identical_across_builds():
+    first = _fixture_index().to_json()
+    second = build_index(_parse_dir(FIXTURES)).to_json()
+    assert first == second
+
+
+def test_cache_hits_and_misses_on_edit(tmp_path):
+    workdir = tmp_path / "pkg"
+    workdir.mkdir()
+    for fixture in FIXTURES.glob("*.py"):
+        shutil.copy(fixture, workdir / fixture.name)
+    cache = tmp_path / "index.json"
+
+    cold = build_index(_parse_dir(workdir), cache_path=cache)
+    assert cold.cache_misses == len(list(workdir.glob("*.py")))
+    assert cold.cache_hits == 0
+    assert cache.is_file()
+
+    warm = build_index(_parse_dir(workdir), cache_path=cache)
+    assert warm.cache_misses == 0
+    assert warm.cache_hits == cold.cache_misses
+    assert warm.to_json() == cold.to_json()
+
+    # Editing one file re-extracts exactly that module.
+    edited = workdir / "helpers.py"
+    edited.write_text(
+        edited.read_text(encoding="utf-8") + "\n\ndef extra(x):\n"
+        "    return x\n",
+        encoding="utf-8",
+    )
+    refreshed = build_index(_parse_dir(workdir), cache_path=cache)
+    assert refreshed.cache_misses == 1
+    assert refreshed.cache_hits == cold.cache_misses - 1
+    helpers = refreshed.module_named("helpers")
+    assert "extra" in helpers.functions
+
+
+def test_cache_with_wrong_version_is_discarded(tmp_path):
+    cache = tmp_path / "index.json"
+    cache.write_text('{"version": 999, "modules": {}}', encoding="utf-8")
+    assert load_cache(cache) == {}
+    rebuilt = build_index(_parse_dir(FIXTURES), cache_path=cache)
+    assert rebuilt.cache_hits == 0
+    assert rebuilt.cache_misses > 0
+
+
+# -- NG601/NG602 planted bugs ------------------------------------------------
+
+
+def test_escape_via_self_call_is_flagged():
+    """A write escaping through `self._push` flags caller and helper."""
+    report = lint_paths([FIXTURES / "leaky.py"])
+    assert [f.code for f in report.findings] == ["NG601", "NG601"]
+    by_line = sorted(report.findings, key=lambda f: f.line)
+    assert "_push" in by_line[0].message
+    assert "push" in by_line[1].message
+    # The caller's why-path walks through the self-call to the write.
+    caller = by_line[1]
+    assert any("self._push" in step for step in caller.why)
+    assert any("self.rows" in step for step in caller.why)
+
+
+def test_planted_missing_bump_in_utxoset_copy(tmp_path):
+    source = (SRC / "repro" / "ledger" / "utxo.py").read_text(
+        encoding="utf-8"
+    )
+    assert source.count("self.version += 1") >= 3
+    planted = source.replace("self.version += 1", "pass", 1)
+    copy = tmp_path / "utxo_planted.py"
+    copy.write_text(planted, encoding="utf-8")
+    report = lint_paths([copy])
+    assert [f.code for f in report.findings] == ["NG601"]
+    finding = report.findings[0]
+    assert "UtxoSet.apply" in finding.message
+    assert any("self._coins" in step for step in finding.why)
+    # The unedited module stays clean.
+    assert lint_paths([SRC / "repro" / "ledger" / "utxo.py"]).findings == []
+
+
+def test_planted_mempool_mutating_checker(tmp_path):
+    bad = tmp_path / "bad_checker.py"
+    bad.write_text(
+        "from repro.sanitizer.checkers import InvariantChecker\n"
+        "\n"
+        "\n"
+        "def drain(pool, tx):\n"
+        "    pool.add(tx)\n"
+        "\n"
+        "\n"
+        "class Drainer(InvariantChecker):\n"
+        '    code = "INV902"\n'
+        "\n"
+        "    def check_dirty(self, node, node_id, now):\n"
+        "        drain(node.mempool, None)\n"
+        "        return []\n",
+        encoding="utf-8",
+    )
+    report = lint_paths([bad])
+    assert [f.code for f in report.findings] == ["NG602"]
+    finding = report.findings[0]
+    assert "check_dirty" in finding.message
+    # Interprocedural why: hook passes the mempool into the helper,
+    # the helper performs the write.
+    assert len(finding.why) == 2
+    assert "passes `node`" in finding.why[0]
+    assert "writes `pool`" in finding.why[1]
+
+
+def test_real_tree_has_no_semantic_findings():
+    report = lint_paths(
+        [SRC], codes=["NG601", "NG602", "NG603", "NG604"]
+    )
+    assert report.findings == [], "\n".join(
+        f.format(show_why=True) for f in report.findings
+    )
