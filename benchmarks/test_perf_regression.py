@@ -756,6 +756,61 @@ def test_lint_semantic_index_speed(tmp_path):
     )
 
 
+def test_mutate_speed(tmp_path):
+    """A scoped mutation run fits CI and warm re-runs are near-free.
+
+    Runs a small but real slice of the mutation pipeline — every tier,
+    one anchor module, a dozen mutants — twice against the same verdict
+    cache.  The cold pass pays for the baseline probe plus one shadow
+    evaluation per mutant; the warm pass must be served almost entirely
+    from the content-addressed cache (the steady state for PR-scoped CI
+    runs and local re-runs), so its wall is gated at a tenth of cold.
+    The emitted section carries the kill statistics for the trajectory.
+    """
+    from repro.mutate import MutationEngine, bench_section
+
+    repo = pathlib.Path(__file__).resolve().parent.parent
+    engine = MutationEngine(
+        repo, cache_path=tmp_path / "mutate-cache.json"
+    )
+    scope = dict(
+        only_files=["src/repro/core/incentives.py"], max_mutants=12
+    )
+
+    start = time.perf_counter()
+    cold = engine.run(**scope)
+    cold_wall = time.perf_counter() - start
+    assert cold.cache_hits == 0
+
+    warm_engine = MutationEngine(
+        repo, cache_path=tmp_path / "mutate-cache.json"
+    )
+    start = time.perf_counter()
+    warm = warm_engine.run(**scope)
+    warm_wall = time.perf_counter() - start
+    assert warm.cache_misses == 0
+    assert [v.to_dict() for v in warm.verdicts] == [
+        v.to_dict() for v in cold.verdicts
+    ]
+
+    ratio = warm_wall / max(cold_wall, 1e-9)
+    update_bench(
+        BENCH_JSON,
+        "mutation",
+        {
+            **bench_section(cold),
+            "scope": "src/repro/core/incentives.py (first 12 mutants)",
+            "cold_wall_seconds": round(cold_wall, 3),
+            "warm_wall_seconds": round(warm_wall, 3),
+            "warm_over_cold_ratio": round(ratio, 4),
+        },
+    )
+    assert len(cold.verdicts) > 0
+    assert ratio < 0.10, (
+        f"warm mutation re-run cost {ratio:.1%} of cold (gate: 10%)"
+    )
+
+
 def test_bench_json_is_valid():
     """The emitted trajectory file parses and has every section."""
     data = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
@@ -772,6 +827,7 @@ def test_bench_json_is_valid():
         "profile",
         "lint",
         "lint_semantic",
+        "mutation",
         "baseline",
     ):
         assert section in data, f"missing {section}"

@@ -471,6 +471,10 @@ def build_parser() -> argparse.ArgumentParser:
     from .prof.cli import add_prof_parser
 
     add_prof_parser(commands)
+
+    from .mutate.cli import add_mutate_parser
+
+    add_mutate_parser(commands)
     return parser
 
 

@@ -54,6 +54,12 @@ class ExperimentConfig:
     block_size_bytes: int = 1_000_000  # Bitcoin block or NG microblock size
     tx_size: int = ARTIFICIAL_TX_SIZE
     key_block_rate: float = 1.0 / 100.0  # NG only
+    # Satoshis of entry fee each synthetic transaction carries (NG
+    # only).  Zero — the paper's testbed setting — leaves the 40%/60%
+    # remuneration machinery computing empty splits; nonzero makes key
+    # block coinbases carry real fee shares, which the fee-split
+    # invariant (INV102) and the mutation probe key on.
+    fee_per_tx: int = 0
 
     # Run length: the paper runs "for 50-100 Bitcoin blocks or
     # Bitcoin-NG microblocks" per execution.
@@ -118,6 +124,8 @@ class ExperimentConfig:
             raise ValueError("rates must be positive")
         if self.block_size_bytes <= 0 or self.tx_size <= 0:
             raise ValueError("sizes must be positive")
+        if self.fee_per_tx < 0:
+            raise ValueError("fee_per_tx must be non-negative")
         if self.target_blocks < 1:
             raise ValueError("need at least one block")
         if self.check_stride < 1:

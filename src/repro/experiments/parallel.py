@@ -24,7 +24,7 @@ from __future__ import annotations
 import logging
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from .config import ExperimentConfig
 from .runner import ExperimentResult, run_experiment
@@ -33,6 +33,9 @@ from .runner import ExperimentResult, run_experiment
 JOBS_ENV_VAR = "REPRO_JOBS"
 
 logger = logging.getLogger(__name__)
+
+T = TypeVar("T")
+R = TypeVar("R")
 
 
 def available_cpus() -> int:
@@ -107,37 +110,52 @@ class SweepExecutor:
     def __init__(self, jobs: int | None = None) -> None:
         self.jobs = resolve_jobs(jobs)
 
-    def map(
+    def map_tasks(
         self,
-        configs: Iterable[ExperimentConfig],
-        progress: Callable[[int, int, ExperimentResult], None] | None = None,
-    ) -> list[ExperimentResult]:
-        """Run every config; results come back in input order.
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        progress: Callable[[int, int, Any], None] | None = None,
+    ) -> list[R]:
+        """Run ``fn`` over every item; results come back in input order.
 
-        ``progress`` is a per-cell heartbeat: called as
-        ``progress(index, total, result)`` with the cell's *submission*
-        index the moment that cell finishes — in completion order under
-        a pool, so a long sweep shows life as workers report in.  The
-        returned list is always in submission order regardless; the
+        The generic fan-out under :meth:`map`, also used by the
+        mutation engine to evaluate mutants in parallel.  ``fn`` must be
+        a top-level (picklable) callable and each item's work must be
+        independent; determinism then holds by construction, since
+        results are reordered to submission order regardless of which
+        worker finishes first.
+
+        ``progress`` is a per-item heartbeat: called as
+        ``progress(index, total, result)`` with the item's *submission*
+        index the moment that item finishes — in completion order under
+        a pool, so a long run shows life as workers report in.  The
         callback only observes, so it cannot affect determinism.
         """
-        ordered: Sequence[ExperimentConfig] = list(configs)
+        ordered: Sequence[T] = list(items)
         workers = min(self.jobs, len(ordered))
         if workers <= 1:
             results = []
-            for index, config in enumerate(ordered):
-                result = _run_one(config)
+            for index, item in enumerate(ordered):
+                result = fn(item)
                 if progress is not None:
                     progress(index, len(ordered), result)
                 results.append(result)
             return results
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_run_one, config) for config in ordered]
+            futures = [pool.submit(fn, item) for item in ordered]
             if progress is not None:
                 index_of = {future: i for i, future in enumerate(futures)}
                 for future in as_completed(futures):
                     progress(index_of[future], len(ordered), future.result())
             return [future.result() for future in futures]
+
+    def map(
+        self,
+        configs: Iterable[ExperimentConfig],
+        progress: Callable[[int, int, ExperimentResult], None] | None = None,
+    ) -> list[ExperimentResult]:
+        """Run every config; results come back in input order."""
+        return self.map_tasks(_run_one, configs, progress)
 
 
 def run_many(

@@ -43,6 +43,13 @@ class Finding:
     #: Interprocedural call-path explanation (NG6xx); one step per line,
     #: rendered by ``repro lint --why``.
     why: tuple[str, ...] = ()
+    #: Optional semantic identity overriding the snippet for
+    #: fingerprinting.  Semantic (NG6xx) findings anchor on a ``def`` or
+    #: ``class`` line whose text changes under pure refactors (a renamed
+    #: parameter, a new annotation), and identical ``def`` lines collide
+    #: across classes — so those rules fingerprint on their line-free
+    #: message instead.
+    identity: str = ""
 
     @property
     def fingerprint(self) -> str:
@@ -50,9 +57,13 @@ class Finding:
 
         Hashing the snippet rather than recording the line means the
         baseline survives unrelated edits above the finding, but any
-        change to the offending line itself resurfaces it.
+        change to the offending line itself resurfaces it.  Findings
+        carrying an explicit ``identity`` (the semantic rules) hash that
+        instead, so refactors that rewrite the anchor line — or shift
+        the ``why`` call path — cannot resurrect frozen debt.
         """
-        digest = hashlib.sha256(self.snippet.encode("utf-8")).hexdigest()[:12]
+        basis = self.identity or self.snippet
+        digest = hashlib.sha256(basis.encode("utf-8")).hexdigest()[:12]
         return f"{self.path}:{self.code}:{digest}"
 
     def to_dict(self) -> dict[str, Any]:
@@ -64,6 +75,7 @@ class Finding:
             "message": self.message,
             "snippet": self.snippet,
             "why": list(self.why),
+            "identity": self.identity,
             "fingerprint": self.fingerprint,
         }
 
@@ -77,6 +89,7 @@ class Finding:
             message=data["message"],
             snippet=data["snippet"],
             why=tuple(data.get("why", ())),
+            identity=data.get("identity", ""),
         )
 
     def format(self, *, show_why: bool = False) -> str:

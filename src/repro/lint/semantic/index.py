@@ -25,14 +25,15 @@ import ast
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
 
 from .extract import content_sha, extract_module
 from .model import ClassSummary, FunctionSummary, ModuleSummary, ParamRef
 
 #: Bump when summary extraction or the serialized shape changes: a
 #: version mismatch discards the whole cache rather than mixing schemas.
-INDEX_VERSION = 1
+#: v2: class summaries carry ``class_attr_literals``.
+INDEX_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -232,6 +233,120 @@ class SemanticIndex:
                     target_mod, target_mod.classes[name], "__init__"
                 )
         return None
+
+    # -- public queries (consumed by repro.mutate and external tooling) ------
+
+    def classes_extending(
+        self, targets: frozenset[str]
+    ) -> list[tuple[ModuleSummary, ClassSummary]]:
+        """Every scanned class whose (transitive) base matches ``targets``.
+
+        The match semantics are :meth:`extends` — resolved dotted names
+        and bare unresolved names both count — and the result is in
+        deterministic (path, class) order.
+        """
+        found: list[tuple[ModuleSummary, ClassSummary]] = []
+        for path in sorted(self.modules):
+            summary = self.modules[path]
+            for class_name in sorted(summary.classes):
+                cls = summary.classes[class_name]
+                if self.extends(summary, cls, targets):
+                    found.append((summary, cls))
+        return found
+
+    def versioned_classes(
+        self, extra_names: frozenset[str] = frozenset()
+    ) -> list[tuple[ModuleSummary, ClassSummary]]:
+        """Classes under the NG601 version-bump contract.
+
+        A class qualifies via the ``# repro: versioned`` marker or by
+        appearing in ``extra_names`` (the rule's built-in
+        ``Mempool``/``UtxoSet`` set).  Deterministic order.
+        """
+        found: list[tuple[ModuleSummary, ClassSummary]] = []
+        for path in sorted(self.modules):
+            summary = self.modules[path]
+            for class_name in sorted(summary.classes):
+                cls = summary.classes[class_name]
+                if cls.versioned or cls.name in extra_names:
+                    found.append((summary, cls))
+        return found
+
+    def class_surface(
+        self, summary: ModuleSummary, cls: ClassSummary
+    ) -> list[FunctionKey]:
+        """Every method visible on ``cls``: own and scanned-ancestor.
+
+        Keys point at the *defining* class, nearest definition first,
+        so overridden ancestor methods are not duplicated.
+        """
+        keys: list[FunctionKey] = []
+        seen: set[str] = set()
+        resolved, _ = self.base_chain(summary, cls)
+        for mod, current in [(summary, cls)] + resolved:
+            for method_name in sorted(current.methods):
+                if method_name in seen:
+                    continue
+                seen.add(method_name)
+                keys.append(
+                    FunctionKey(mod.display_path, current.name, method_name)
+                )
+        return keys
+
+    def reachable_functions(
+        self,
+        roots: Iterable[FunctionKey],
+        *,
+        instantiate_closure: bool = True,
+    ) -> set[FunctionKey]:
+        """Functions reachable from ``roots`` over resolved call edges.
+
+        The static call graph cannot see simulator-dispatched calls
+        (``build_nodes`` hands node objects to the event loop, which
+        invokes their methods by name at runtime), so with
+        ``instantiate_closure`` a call that resolves into a class
+        ``__init__`` marks *every* method of that class (and its scanned
+        ancestors) reachable — the object escaped, anything on it may
+        run.  This is the reachability the mutation engine keys on:
+        over-approximate in the direction of more mutation sites.
+        """
+        work: list[FunctionKey] = list(roots)
+        reached: set[FunctionKey] = set()
+        while work:
+            key = work.pop()
+            if key in reached:
+                continue
+            fn = self.function_at(key)
+            if fn is None:
+                continue
+            reached.add(key)
+            summary = self.modules[key.display_path]
+            cls = (
+                summary.classes.get(key.class_name)
+                if key.class_name
+                else None
+            )
+            for call in fn.calls:
+                resolved = self.resolve_call(
+                    summary, cls, call.kind, call.target
+                )
+                if resolved is None:
+                    continue
+                callee_key, _callee_fn = resolved
+                work.append(callee_key)
+                if (
+                    instantiate_closure
+                    and callee_key.class_name is not None
+                    and callee_key.function == "__init__"
+                ):
+                    owner = self.modules.get(callee_key.display_path)
+                    if owner is None:
+                        continue
+                    owner_cls = owner.classes.get(callee_key.class_name)
+                    if owner_cls is None:
+                        continue
+                    work.extend(self.class_surface(owner, owner_cls))
+        return reached
 
     # -- harvests (NG301 / NG303 feeds) --------------------------------------
 

@@ -1,0 +1,756 @@
+"""The mutation engine: shadow trees, tiered kills, verdict caching.
+
+Every mutant runs the same gauntlet, cheapest tier first, stopping at
+the first kill:
+
+1. **lint** — in-process.  The mutated module's summary is spliced into
+   the clean semantic index (everything else reused, exactly the
+   content-sha trick ``repro lint`` plays across runs) and the full
+   rule set re-runs.  The tree is pinned clean, so *any* unsuppressed
+   finding kills the mutant.
+2. **sanitizer** / 3. **golden** — one subprocess probe
+   (``python -m repro.mutate.probe``) against a mutated shadow tree
+   runs a short Bitcoin-NG simulation with the adapter's invariant
+   checkers in incremental mode.  Violations kill at the sanitizer
+   tier; a crash, hang, or digest-fingerprint divergence from the clean
+   baseline kills at the golden tier.
+4. **tests** — the mutated file's companion tier-1 module
+   (``src/repro/core/chain.py`` → ``tests/test_core_chain.py``) under
+   ``pytest -x``; a failure kills, and files with no companion skip the
+   tier.
+
+Mutants that outlive all four tiers are *survivors*: each must either
+grow a new rule/invariant that kills it or be catalogued with a
+rationale in ``docs/mutation.md`` (the allowlist the CI gate enforces).
+
+Shadow trees are hardlink farms: building one costs directory entries,
+not bytes, and mutation is unlink-then-write so the original inode is
+never touched.  Verdicts cache on ``(file sha, mutant id)`` — mutant
+ids are line-free, so editing *other* files (or refactoring this one
+without changing the mutated span's text) keeps verdicts warm.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Callable, Iterable, cast
+
+from ..clock import wall_clock
+from ..experiments.parallel import SweepExecutor
+from ..lint.engine import _parse, build_semantic_index
+from ..lint.findings import Finding, is_suppressed
+from ..lint.rules import ImportMap, ModuleContext, Rule, all_rules
+from ..lint.semantic.extract import content_sha, extract_module
+from ..lint.semantic.index import SemanticIndex
+from ..lint.semantic.rules import SemanticRule
+from .operators import (
+    CATALOG_VERSION,
+    OPERATORS,
+    OPERATORS_BY_NAME,
+    Mutant,
+    MutationOperator,
+    generate_mutants,
+)
+from .sites import TARGET_PACKAGES, build_site_index, enumerate_sites
+
+#: Bump when verdict semantics change; invalidates every cached verdict.
+ENGINE_VERSION = 1
+
+#: Tier order is the kill pipeline order (sanitizer/golden share a probe).
+TIERS: tuple[str, ...] = ("lint", "sanitizer", "golden", "tests")
+
+DEFAULT_CACHE = Path(".mutate-cache.json")
+DEFAULT_REPORT = Path(".mutate-report.json")
+
+
+@dataclass(frozen=True)
+class MutantVerdict:
+    """The pipeline's final word on one mutant."""
+
+    mutant_id: str
+    operator: str
+    path: str
+    qualname: str
+    description: str
+    lineno: int
+    status: str  #: ``"killed"`` or ``"survived"``
+    tier: str  #: killing tier, or ``""`` for survivors
+    detail: str  #: what killed it (rule code, INV code, divergence, test)
+    seconds: float = 0.0
+    cached: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "mutant_id": self.mutant_id,
+            "operator": self.operator,
+            "path": self.path,
+            "qualname": self.qualname,
+            "description": self.description,
+            "lineno": self.lineno,
+            "status": self.status,
+            "tier": self.tier,
+            "detail": self.detail,
+            "seconds": round(self.seconds, 4),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "MutantVerdict":
+        return cls(
+            mutant_id=data["mutant_id"],
+            operator=data["operator"],
+            path=data["path"],
+            qualname=data["qualname"],
+            description=data["description"],
+            lineno=int(data["lineno"]),
+            status=data["status"],
+            tier=data["tier"],
+            detail=data["detail"],
+            seconds=float(data.get("seconds", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class MutantTask:
+    """Everything one worker needs to evaluate one mutant (picklable)."""
+
+    mutant: Mutant
+    repo_root: str
+    src_root: str  #: relative to repo_root, e.g. ``"src"``
+    tree_sha: str  #: clean-tree content sha; keys the worker memo
+    baseline_fingerprint: tuple[Any, ...]
+    probe_timeout: float = 120.0
+    pytest_timeout: float = 300.0
+    tiers: tuple[str, ...] = TIERS
+
+
+@dataclass
+class MutationRun:
+    """One full engine run: verdicts plus provenance."""
+
+    verdicts: list[MutantVerdict] = field(default_factory=list)
+    n_files: int = 0
+    n_sites: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    wall_seconds: float = 0.0
+    baseline_fingerprint: tuple[Any, ...] = ()
+
+    @property
+    def killed(self) -> list[MutantVerdict]:
+        return [v for v in self.verdicts if v.status == "killed"]
+
+    @property
+    def survivors(self) -> list[MutantVerdict]:
+        return [v for v in self.verdicts if v.status == "survived"]
+
+    @property
+    def score(self) -> float:
+        if not self.verdicts:
+            return 1.0
+        return len(self.killed) / len(self.verdicts)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": ENGINE_VERSION,
+            "catalog_version": CATALOG_VERSION,
+            "n_files": self.n_files,
+            "n_sites": self.n_sites,
+            "n_mutants": len(self.verdicts),
+            "n_killed": len(self.killed),
+            "n_survived": len(self.survivors),
+            "score": round(self.score, 4),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "wall_seconds": round(self.wall_seconds, 3),
+            "baseline_fingerprint": list(self.baseline_fingerprint),
+            "verdicts": [v.to_dict() for v in self.verdicts],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "MutationRun":
+        run = cls(
+            verdicts=[
+                MutantVerdict.from_dict(v) for v in data.get("verdicts", [])
+            ],
+            n_files=int(data.get("n_files", 0)),
+            n_sites=int(data.get("n_sites", 0)),
+            cache_hits=int(data.get("cache_hits", 0)),
+            cache_misses=int(data.get("cache_misses", 0)),
+            wall_seconds=float(data.get("wall_seconds", 0.0)),
+            baseline_fingerprint=tuple(data.get("baseline_fingerprint", ())),
+        )
+        return run
+
+
+# -- shadow trees ------------------------------------------------------------
+
+
+class ShadowTree:
+    """A hardlink copy of the source tree that can host one mutant.
+
+    Mutation is unlink-then-write: writing *through* a hardlink would
+    corrupt the real tree, so the link is removed first and a fresh
+    inode carries the mutated bytes.  :meth:`restore` relinks the
+    original.
+    """
+
+    def __init__(self, repo_root: Path, src_root: str, shadow_dir: Path):
+        self.repo_root = repo_root
+        self.src_root = src_root
+        self.shadow_dir = shadow_dir
+        self._mutated: Path | None = None
+        self._build()
+
+    @property
+    def src_path(self) -> Path:
+        return self.shadow_dir / self.src_root
+
+    def _build(self) -> None:
+        source = self.repo_root / self.src_root
+        for path in sorted(source.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            rel = path.relative_to(self.repo_root)
+            target = self.shadow_dir / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            if target.exists():
+                target.unlink()
+            try:
+                os.link(path, target)
+            except OSError:  # cross-device fallback
+                target.write_bytes(path.read_bytes())
+
+    def mutate(self, display_path: str, mutated_source: str) -> None:
+        self.restore()
+        target = self.shadow_dir / display_path
+        target.unlink()
+        target.write_text(mutated_source, encoding="utf-8")
+        self._mutated = target
+
+    def restore(self) -> None:
+        if self._mutated is None:
+            return
+        rel = self._mutated.relative_to(self.shadow_dir)
+        self._mutated.unlink()
+        original = self.repo_root / rel
+        try:
+            os.link(original, self._mutated)
+        except OSError:
+            self._mutated.write_bytes(original.read_bytes())
+        self._mutated = None
+
+
+# -- worker state ------------------------------------------------------------
+
+#: Per-process memo: shadow tree, parsed clean modules, clean index.
+#: Workers are forked/spawned per pool, so module globals are private.
+_WORKER: dict[str, Any] = {}
+
+
+def _worker_state(task: MutantTask) -> dict[str, Any]:
+    key = (task.repo_root, task.src_root, task.tree_sha)
+    if _WORKER.get("key") != key:
+        repo_root = Path(task.repo_root)
+        shadow_dir = (
+            repo_root / ".mutate-shadow" / f"w{os.getpid()}"
+        )
+        shadow_dir.mkdir(parents=True, exist_ok=True)
+        modules = []
+        for path in sorted((repo_root / task.src_root).rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            parsed = _parse(path)
+            # Display paths must be repo-relative so they line up with
+            # mutant paths and shadow-tree paths.
+            modules.append(
+                replace(
+                    parsed,
+                    display_path=path.relative_to(repo_root).as_posix(),
+                )
+            )
+        _WORKER.clear()
+        _WORKER.update(
+            key=key,
+            shadow=ShadowTree(repo_root, task.src_root, shadow_dir),
+            modules=modules,
+            index=build_semantic_index(modules),
+        )
+    return _WORKER
+
+
+def _probe_env(shadow_src: Path) -> dict[str, str]:
+    # Subprocess probes need the parent environment (PATH, interpreter
+    # config) with only PYTHONPATH redirected at the shadow tree.
+    env = dict(os.environ)  # repro: allow[NG202]
+    env["PYTHONPATH"] = str(shadow_src)
+    env["PYTHONDONTWRITEBYTECODE"] = "1"
+    return env
+
+
+# -- tiers -------------------------------------------------------------------
+
+
+def _lint_tier(
+    task: MutantTask, mutated_source: str, state: dict[str, Any]
+) -> str | None:
+    """First unsuppressed finding on the spliced index, or ``None``.
+
+    Reuses every clean module summary and re-extracts only the mutated
+    one — the same incremental contract the on-disk index cache gives
+    ``repro lint``, applied in memory.
+    """
+    import ast as ast_mod
+
+    mutant = task.mutant
+    clean_index: SemanticIndex = state["index"]
+    parsed_by_path = {m.display_path: m for m in state["modules"]}
+    clean = parsed_by_path[mutant.path]
+
+    tree = ast_mod.parse(mutated_source)
+    lines = mutated_source.splitlines()
+    summary = extract_module(
+        tree,
+        display_path=mutant.path,
+        module=clean.module,
+        lines=lines,
+        sha=content_sha(mutated_source),
+    )
+    modules = dict(clean_index.modules)
+    modules[mutant.path] = summary
+    index = SemanticIndex(modules=modules)
+
+    ast_rules = [r for r in all_rules() if issubclass(r, Rule)]
+    semantic_rules = [
+        r for r in all_rules() if issubclass(r, SemanticRule)
+    ]
+
+    context = ModuleContext(
+        path=mutant.path,
+        module=clean.module,
+        lines=lines,
+        imports=ImportMap.of(tree),
+        set_attrs=index.set_identifiers(),
+        tuple_dict_attrs=index.tuple_dict_identifiers(),
+    )
+    findings: list[Finding] = []
+    for rule_cls in ast_rules:
+        if not rule_cls.applies_to(clean.module):
+            continue
+        rule = cast("type[Rule]", rule_cls)(context)
+        rule.visit(tree)
+        findings.extend(
+            f for f in rule.findings if not is_suppressed(f, lines)
+        )
+
+    lines_by_path = {
+        m.display_path: m.lines for m in state["modules"]
+    }
+    lines_by_path[mutant.path] = lines
+    module_by_path = {
+        m.display_path: m.module for m in state["modules"]
+    }
+    for semantic_cls in semantic_rules:
+        for finding in cast("type[SemanticRule]", semantic_cls)().check(
+            index, lines_by_path
+        ):
+            if not semantic_cls.applies_to(
+                module_by_path.get(finding.path, "")
+            ):
+                continue
+            if is_suppressed(finding, lines_by_path.get(finding.path, [])):
+                continue
+            findings.append(finding)
+
+    if not findings:
+        return None
+    findings.sort(key=lambda f: (f.path, f.line, f.code))
+    first = findings[0]
+    return f"{first.code} {first.message[:120]}"
+
+
+def _probe_tier(
+    task: MutantTask, state: dict[str, Any]
+) -> tuple[str, str] | None:
+    """Sanitizer/golden verdict from one probe run, or ``None``."""
+    shadow: ShadowTree = state["shadow"]
+    try:
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.mutate.probe"],
+            cwd=task.repo_root,
+            env=_probe_env(shadow.src_path),
+            capture_output=True,
+            text=True,
+            timeout=task.probe_timeout,
+        )
+    except subprocess.TimeoutExpired:
+        return ("golden", "probe timeout (likely non-terminating mutant)")
+    try:
+        payload = json.loads(completed.stdout)
+    except json.JSONDecodeError:
+        tail = (completed.stderr or completed.stdout).strip()[-160:]
+        return ("golden", f"probe crashed: {tail or 'no output'}")
+    if not payload.get("ok", False):
+        error = str(payload.get("error", "")).strip().splitlines()
+        return ("golden", f"probe raised: {error[-1] if error else '?'}")
+    violations = payload.get("violations", [])
+    if violations:
+        codes = sorted({v["code"] for v in violations})
+        return ("sanitizer", f"invariant violation: {', '.join(codes)}")
+    fingerprint = tuple(
+        tuple(part) if isinstance(part, list) else part
+        for part in payload.get("fingerprint", [])
+    )
+    baseline = tuple(
+        tuple(part) if isinstance(part, list) else part
+        for part in task.baseline_fingerprint
+    )
+    if fingerprint != baseline:
+        return ("golden", "state fingerprint diverged from clean baseline")
+    return None
+
+
+def companion_test(display_path: str, tests_root: str = "tests") -> str:
+    """``src/repro/<pkg>/<mod>.py`` → ``tests/test_<pkg>_<mod>.py``."""
+    parts = Path(display_path).with_suffix("").parts
+    if "repro" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        tail = parts[anchor + 1 :]
+    else:
+        tail = parts[-1:]
+    return f"{tests_root}/test_{'_'.join(tail)}.py"
+
+
+def _tests_tier(task: MutantTask, state: dict[str, Any]) -> str | None:
+    shadow: ShadowTree = state["shadow"]
+    test_file = companion_test(task.mutant.path)
+    if not (Path(task.repo_root) / test_file).exists():
+        return None
+    try:
+        completed = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                test_file,
+                "-x",
+                "-q",
+                "-p",
+                "no:cacheprovider",
+            ],
+            cwd=task.repo_root,
+            env=_probe_env(shadow.src_path),
+            capture_output=True,
+            text=True,
+            timeout=task.pytest_timeout,
+        )
+    except subprocess.TimeoutExpired:
+        return f"{test_file} timed out"
+    if completed.returncode == 0:
+        return None
+    for line in completed.stdout.splitlines():
+        if line.startswith("FAILED") or line.startswith("ERROR"):
+            return line[:160]
+    return f"{test_file} failed (exit {completed.returncode})"
+
+
+def _evaluate_mutant(task: MutantTask) -> MutantVerdict:
+    """Top-level worker entry point (picklable for the pool)."""
+    state = _worker_state(task)
+    mutant = task.mutant
+    started = wall_clock()
+    original = (Path(task.repo_root) / mutant.path).read_text(
+        encoding="utf-8"
+    )
+    mutated_source = mutant.apply(original)
+
+    def verdict(status: str, tier: str, detail: str) -> MutantVerdict:
+        return MutantVerdict(
+            mutant_id=mutant.mutant_id,
+            operator=mutant.operator,
+            path=mutant.path,
+            qualname=mutant.qualname,
+            description=mutant.description,
+            lineno=mutant.lineno,
+            status=status,
+            tier=tier,
+            detail=detail,
+            seconds=wall_clock() - started,
+        )
+
+    if "lint" in task.tiers:
+        detail = _lint_tier(task, mutated_source, state)
+        if detail is not None:
+            return verdict("killed", "lint", detail)
+
+    needs_probe = "sanitizer" in task.tiers or "golden" in task.tiers
+    shadow: ShadowTree = state["shadow"]
+    try:
+        if needs_probe or "tests" in task.tiers:
+            shadow.mutate(mutant.path, mutated_source)
+        if needs_probe:
+            hit = _probe_tier(task, state)
+            if hit is not None:
+                tier, detail = hit
+                return verdict("killed", tier, detail)
+        if "tests" in task.tiers:
+            detail = _tests_tier(task, state)
+            if detail is not None:
+                return verdict("killed", "tests", detail)
+    finally:
+        shadow.restore()
+    return verdict("survived", "", "outlived every tier")
+
+
+# -- the engine --------------------------------------------------------------
+
+
+def _tree_sha(index: SemanticIndex) -> str:
+    digest = hashlib.sha256()
+    for path in sorted(index.modules):
+        digest.update(path.encode())
+        digest.update(index.modules[path].sha.encode())
+    return digest.hexdigest()[:16]
+
+
+def _config_sig() -> str:
+    probe_src = (Path(__file__).parent / "probe.py").read_bytes()
+    basis = (
+        f"engine={ENGINE_VERSION}:catalog={CATALOG_VERSION}:"
+        f"probe={hashlib.sha256(probe_src).hexdigest()[:12]}"
+    )
+    return hashlib.sha256(basis.encode()).hexdigest()[:12]
+
+
+class VerdictCache:
+    """Content-addressed verdict store on ``(file sha, mutant id)``."""
+
+    def __init__(self, path: Path | None):
+        self.path = path
+        self.sig = _config_sig()
+        self.baselines: dict[str, list[Any]] = {}
+        self.verdicts: dict[str, dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+        if path is not None and path.exists():
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                data = {}
+            if (
+                isinstance(data, dict)
+                and data.get("config_sig") == self.sig
+            ):
+                self.baselines = dict(data.get("baselines", {}))
+                self.verdicts = dict(data.get("verdicts", {}))
+
+    @staticmethod
+    def key(file_sha: str, mutant_id: str) -> str:
+        return f"{file_sha[:12]}:{mutant_id}"
+
+    def lookup(self, file_sha: str, mutant_id: str) -> MutantVerdict | None:
+        entry = self.verdicts.get(self.key(file_sha, mutant_id))
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return replace(MutantVerdict.from_dict(entry), cached=True)
+
+    def store(self, file_sha: str, verdict: MutantVerdict) -> None:
+        self.verdicts[self.key(file_sha, verdict.mutant_id)] = (
+            verdict.to_dict()
+        )
+
+    def save(self) -> None:
+        if self.path is None:
+            return
+        payload = {
+            "config_sig": self.sig,
+            "baselines": self.baselines,
+            "verdicts": dict(sorted(self.verdicts.items())),
+        }
+        try:
+            self.path.write_text(
+                json.dumps(payload, sort_keys=True), encoding="utf-8"
+            )
+        except OSError:
+            pass  # best-effort, like the lint index cache
+
+
+class BaselineError(RuntimeError):
+    """The *clean* tree failed the probe — nothing can be scored."""
+
+
+class MutationEngine:
+    """Coordinates enumeration, generation, fan-out, and caching."""
+
+    def __init__(
+        self,
+        repo_root: Path | str = ".",
+        src_root: str = "src",
+        *,
+        cache_path: Path | None = DEFAULT_CACHE,
+        jobs: int | None = None,
+        probe_timeout: float = 120.0,
+        pytest_timeout: float = 300.0,
+        tiers: tuple[str, ...] = TIERS,
+        operators: tuple[MutationOperator, ...] = OPERATORS,
+    ) -> None:
+        self.repo_root = Path(repo_root).resolve()
+        self.src_root = src_root
+        self.cache = VerdictCache(
+            self.repo_root / cache_path if cache_path else None
+        )
+        self.jobs = jobs
+        self.probe_timeout = probe_timeout
+        self.pytest_timeout = pytest_timeout
+        self.tiers = tiers
+        self.operators = operators
+
+    def baseline_fingerprint(self, index: SemanticIndex) -> tuple[Any, ...]:
+        """The clean tree's probe fingerprint (cached by tree sha)."""
+        tree_sha = _tree_sha(index)
+        cached = self.cache.baselines.get(tree_sha)
+        if cached is not None:
+            return tuple(
+                tuple(p) if isinstance(p, list) else p for p in cached
+            )
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.mutate.probe"],
+            cwd=self.repo_root,
+            env=_probe_env(self.repo_root / self.src_root),
+            capture_output=True,
+            text=True,
+            timeout=self.probe_timeout,
+        )
+        try:
+            payload = json.loads(completed.stdout)
+        except json.JSONDecodeError as exc:
+            raise BaselineError(
+                f"clean probe produced no JSON: {completed.stderr[-200:]}"
+            ) from exc
+        if not payload.get("ok", False):
+            raise BaselineError(
+                f"clean probe raised: {payload.get('error', '?')}"
+            )
+        if payload.get("violations"):
+            raise BaselineError(
+                "clean tree has invariant violations; fix those before "
+                "measuring mutation adequacy"
+            )
+        fingerprint = payload["fingerprint"]
+        self.cache.baselines[tree_sha] = fingerprint
+        return tuple(
+            tuple(p) if isinstance(p, list) else p for p in fingerprint
+        )
+
+    def collect_mutants(
+        self,
+        packages: tuple[str, ...] = TARGET_PACKAGES,
+        *,
+        only_files: Iterable[str] | None = None,
+        max_mutants: int | None = None,
+    ) -> tuple[SemanticIndex, list[Mutant], dict[str, str], int]:
+        """(index, mutants, file shas, n_sites) for one run's scope."""
+        index = build_site_index(self.repo_root / self.src_root)
+        # Re-key display paths repo-relative so shadow paths line up.
+        rel_modules = {}
+        for display_path, summary in index.modules.items():
+            rel = Path(display_path)
+            if rel.is_absolute():
+                rel = rel.relative_to(self.repo_root)
+            rel_modules[rel.as_posix()] = replace(
+                summary, display_path=rel.as_posix()
+            )
+        index = SemanticIndex(modules=rel_modules)
+        sites = enumerate_sites(index, packages)
+
+        wanted = None
+        if only_files is not None:
+            wanted = {Path(f).as_posix() for f in only_files}
+
+        mutants: list[Mutant] = []
+        file_shas: dict[str, str] = {}
+        for display_path in sorted(sites.files):
+            if wanted is not None and display_path not in wanted:
+                continue
+            source = (self.repo_root / display_path).read_text(
+                encoding="utf-8"
+            )
+            file_shas[display_path] = content_sha(source)
+            mutants.extend(
+                generate_mutants(
+                    display_path,
+                    source,
+                    set(sites.files[display_path]),
+                    self.operators,
+                )
+            )
+        if max_mutants is not None:
+            mutants = mutants[:max_mutants]
+        return index, mutants, file_shas, sites.n_sites
+
+    def run(
+        self,
+        packages: tuple[str, ...] = TARGET_PACKAGES,
+        *,
+        only_files: Iterable[str] | None = None,
+        max_mutants: int | None = None,
+        progress: Callable[[int, int, MutantVerdict], None] | None = None,
+    ) -> MutationRun:
+        started = wall_clock()
+        index, mutants, file_shas, n_sites = self.collect_mutants(
+            packages, only_files=only_files, max_mutants=max_mutants
+        )
+        baseline = self.baseline_fingerprint(index)
+
+        cached: dict[str, MutantVerdict] = {}
+        todo: list[Mutant] = []
+        for mutant in mutants:
+            hit = self.cache.lookup(
+                file_shas[mutant.path], mutant.mutant_id
+            )
+            if hit is not None:
+                cached[mutant.mutant_id] = hit
+            else:
+                todo.append(mutant)
+
+        tree_sha = _tree_sha(index)
+        tasks = [
+            MutantTask(
+                mutant=mutant,
+                repo_root=str(self.repo_root),
+                src_root=self.src_root,
+                tree_sha=tree_sha,
+                baseline_fingerprint=baseline,
+                probe_timeout=self.probe_timeout,
+                pytest_timeout=self.pytest_timeout,
+                tiers=self.tiers,
+            )
+            for mutant in todo
+        ]
+        fresh: list[MutantVerdict] = []
+        if tasks:
+            executor = SweepExecutor(self.jobs)
+            fresh = executor.map_tasks(_evaluate_mutant, tasks, progress)
+        for verdict in fresh:
+            self.cache.store(file_shas[verdict.path], verdict)
+        self.cache.save()
+
+        by_id = dict(cached)
+        by_id.update({v.mutant_id: v for v in fresh})
+        verdicts = [by_id[m.mutant_id] for m in mutants]
+        return MutationRun(
+            verdicts=verdicts,
+            n_files=len(file_shas),
+            n_sites=n_sites,
+            cache_hits=self.cache.hits,
+            cache_misses=self.cache.misses,
+            wall_seconds=wall_clock() - started,
+            baseline_fingerprint=baseline,
+        )

@@ -1,0 +1,167 @@
+"""Kill-matrix reporting and the surviving-mutant allowlist gate.
+
+The matrix answers the question the tentpole exists for: *which checker
+layer actually catches which class of planted defect?*  Rows are
+mutation operators, columns are kill tiers, cells count kills — a row
+whose mass sits in ``tests`` names a defect class the static/dynamic
+layers are blind to, which is exactly where the next NG rule or INV
+checker should land.
+
+Survivor policy: a mutant that outlives every tier must either grow a
+rule that kills it or be catalogued in ``docs/mutation.md`` with its
+backtick-quoted mutant id and a rationale.  :func:`parse_allowlist`
+scrapes those ids; :func:`gate` fails when an undocumented survivor
+exists — the CI contract that keeps the mutation score honest.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+from pathlib import Path
+from typing import Any
+
+from .engine import TIERS, MutationRun, MutantVerdict
+
+#: Mutant ids as they appear in docs: `operator:path:qualname:sha8`.
+_ALLOWLIST_RE = re.compile(r"`([a-z-]+:[^`\s]+:[0-9a-f]{8})`")
+
+
+def kill_matrix(run: MutationRun) -> dict[str, dict[str, int]]:
+    """operator → {tier: kills, "survived": n, "total": n}."""
+    matrix: dict[str, dict[str, int]] = defaultdict(
+        lambda: {tier: 0 for tier in TIERS} | {"survived": 0, "total": 0}
+    )
+    for verdict in run.verdicts:
+        row = matrix[verdict.operator]
+        row["total"] += 1
+        if verdict.status == "killed":
+            row[verdict.tier] += 1
+        else:
+            row["survived"] += 1
+    return {op: dict(matrix[op]) for op in sorted(matrix)}
+
+
+def module_scores(run: MutationRun) -> dict[str, dict[str, Any]]:
+    """path → {total, killed, score} per mutated source file."""
+    counts: dict[str, dict[str, int]] = defaultdict(
+        lambda: {"total": 0, "killed": 0}
+    )
+    for verdict in run.verdicts:
+        counts[verdict.path]["total"] += 1
+        if verdict.status == "killed":
+            counts[verdict.path]["killed"] += 1
+    return {
+        path: {
+            "total": c["total"],
+            "killed": c["killed"],
+            "score": round(c["killed"] / c["total"], 4) if c["total"] else 1.0,
+        }
+        for path, c in sorted(counts.items())
+    }
+
+
+def parse_allowlist(doc: Path) -> set[str]:
+    """Backtick-quoted mutant ids catalogued in ``docs/mutation.md``."""
+    try:
+        text = doc.read_text(encoding="utf-8")
+    except OSError:
+        return set()
+    return set(_ALLOWLIST_RE.findall(text))
+
+
+def undocumented_survivors(
+    run: MutationRun, allowlist: set[str]
+) -> list[MutantVerdict]:
+    return [v for v in run.survivors if v.mutant_id not in allowlist]
+
+
+def gate(run: MutationRun, allowlist: set[str]) -> tuple[bool, str]:
+    """(ok, message) for the CI contract."""
+    missing = undocumented_survivors(run, allowlist)
+    if not missing:
+        return True, (
+            f"mutation gate: {len(run.killed)}/{len(run.verdicts)} killed, "
+            f"{len(run.survivors)} survivor(s) all catalogued"
+        )
+    lines = [
+        f"mutation gate: {len(missing)} surviving mutant(s) not catalogued "
+        "in docs/mutation.md — kill each with a new rule/invariant or "
+        "document it with a rationale:"
+    ]
+    lines += [
+        f"  {v.mutant_id}  ({v.description})" for v in missing
+    ]
+    return False, "\n".join(lines)
+
+
+def render_report(run: MutationRun, *, verbose: bool = False) -> str:
+    """Human-readable kill matrix + per-module scores + survivors."""
+    out: list[str] = []
+    out.append(
+        f"mutation run: {len(run.verdicts)} mutants over {run.n_files} "
+        f"file(s), {run.n_sites} site(s)"
+    )
+    out.append(
+        f"score: {run.score:.1%} killed "
+        f"({len(run.killed)} killed / {len(run.survivors)} survived), "
+        f"cache {run.cache_hits} hit(s) / {run.cache_misses} miss(es), "
+        f"wall {run.wall_seconds:.1f}s"
+    )
+    out.append("")
+
+    matrix = kill_matrix(run)
+    header = ["operator"] + list(TIERS) + ["survived", "total"]
+    widths = [max(len(header[0]), *(len(op) for op in matrix or ["-"]))]
+    widths += [max(8, len(h)) for h in header[1:]]
+    out.append(
+        "  ".join(h.ljust(w) for h, w in zip(header, widths))
+    )
+    out.append("  ".join("-" * w for w in widths))
+    for op, row in matrix.items():
+        cells = [op] + [
+            str(row[col]) for col in header[1:]
+        ]
+        out.append(
+            "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+        )
+    out.append("")
+
+    out.append("per-module mutation score:")
+    for path, entry in module_scores(run).items():
+        out.append(
+            f"  {path:45s} {entry['killed']:3d}/{entry['total']:3d}"
+            f"  {entry['score']:.1%}"
+        )
+
+    if run.survivors:
+        out.append("")
+        out.append(f"survivors ({len(run.survivors)}):")
+        for v in run.survivors:
+            out.append(f"  {v.mutant_id}")
+            out.append(f"    {v.description} (line {v.lineno})")
+    if verbose:
+        out.append("")
+        out.append("kills:")
+        for v in run.killed:
+            out.append(
+                f"  [{v.tier:9s}] {v.mutant_id}: {v.detail[:100]}"
+            )
+    return "\n".join(out)
+
+
+def bench_section(run: MutationRun) -> dict[str, Any]:
+    """The ``mutation`` section for ``BENCH_simcore.json``."""
+    matrix = kill_matrix(run)
+    tier_totals = {
+        tier: sum(row[tier] for row in matrix.values()) for tier in TIERS
+    }
+    return {
+        "n_mutants": len(run.verdicts),
+        "n_killed": len(run.killed),
+        "n_survived": len(run.survivors),
+        "score": round(run.score, 4),
+        "kills_by_tier": tier_totals,
+        "n_files": run.n_files,
+        "n_sites": run.n_sites,
+    }

@@ -268,6 +268,7 @@ class BitcoinNGAdapter(ProtocolAdapter):
             target_bytes=config.block_size_bytes,
             synthetic=True,
             synthetic_tx_size=config.tx_size,
+            synthetic_fee_per_tx=config.fee_per_tx,
         )
         nodes = [
             NGNode(

@@ -1,11 +1,11 @@
 from repro.protocols import ProtocolAdapter
 
 
-class HalfPlugAdapter(ProtocolAdapter):
-    name = "halfplug"
+class OptOutAdapter(ProtocolAdapter):
+    name = "optout"
 
     def build_nodes(self, config, sim, network, log, shares):
         return [], None
 
-    def invariant_checkers(self):
-        return []
+    def supports_incremental_check(self):
+        return False

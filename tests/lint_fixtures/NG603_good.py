@@ -1,11 +1,9 @@
 from repro.protocols import ProtocolAdapter
 
 
-class HalfPlugAdapter(ProtocolAdapter):
-    name = "halfplug"
+class OptOutAdapter(ProtocolAdapter):
+    name = "optout"
+    supports_incremental_check = False
 
     def build_nodes(self, config, sim, network, log, shares):
         return [], None
-
-    def invariant_checkers(self, mode="incremental"):
-        return []

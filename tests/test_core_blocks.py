@@ -172,3 +172,10 @@ def test_tx_payload_microblock():
     micro = _micro(bytes(32), payload=TxPayload((tx,)))
     assert micro.n_tx == 1
     check_microblock_structure(micro, max_bytes=1_000_000)
+
+
+def test_microblock_of_exactly_the_size_cap_is_valid():
+    micro = _micro(bytes(32))
+    check_microblock_structure(micro, max_bytes=micro.size)
+    with pytest.raises(InvalidNGBlock):
+        check_microblock_structure(micro, max_bytes=micro.size - 1)

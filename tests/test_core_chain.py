@@ -1,5 +1,7 @@
 """The NG chain: key-block weight, microblock validity, equivocation."""
 
+import random
+
 import pytest
 
 from repro.bitcoin.blocks import SyntheticPayload
@@ -219,3 +221,71 @@ def test_main_chain_structure():
     chain.add_block(m1, 10.0)
     assert chain.main_chain() == [GENESIS.hash, key1.hash, m1.hash]
     assert chain.is_in_main_chain(key1.hash)
+
+
+def test_fork_point_with_one_side_the_ancestor():
+    chain = _chain()
+    k1 = _key(GENESIS.hash, ALICE, 10.0)
+    k2 = _key(k1.hash, BOB, 20.0, miner=2)
+    chain.add_block(k1, 10.0)
+    chain.add_block(k2, 20.0)
+    # When one block is an ancestor of the other, the fork point is the
+    # ancestor itself — not some block further down.
+    assert chain.find_fork_point(k2.hash, k1.hash) == k1.hash
+    assert chain.find_fork_point(k1.hash, k2.hash) == k1.hash
+
+
+def test_microblock_timestamp_at_the_exact_drift_limit_is_valid():
+    chain = _chain()
+    k1 = _key(GENESIS.hash, ALICE, 0.0)
+    chain.add_block(k1, 0.0)
+    micro = _micro(k1.hash, ALICE, 10.0)
+    # "in the future" starts strictly beyond local time + drift.
+    chain.validate_microblock(
+        micro, local_time=10.0 - PARAMS.max_future_drift
+    )
+    with pytest.raises(InvalidNGBlock):
+        chain.validate_microblock(
+            micro, local_time=10.0 - PARAMS.max_future_drift - 0.5
+        )
+
+
+def test_random_key_tie_break_is_seeded_and_deterministic():
+    from repro.bitcoin.chain import TieBreak as TB
+
+    # Under the RANDOM policy, a competing equal-work key block stays
+    # or wins exactly as the seeded coin flip dictates: < 0.5 keeps the
+    # incumbent, otherwise the newcomer takes the tip.
+    for seed in (0, 1, 2, 3):
+        draw = random.Random(seed).random()
+        chain = NGChain(
+            GENESIS,
+            PARAMS,
+            tie_break=TB.RANDOM,
+            rng=random.Random(seed),
+        )
+        a = _key(GENESIS.hash, ALICE, 10.0)
+        b = _key(GENESIS.hash, BOB, 11.0, miner=2)
+        chain.add_block(a, 10.0)
+        chain.add_block(b, 11.0)
+        expected = a.hash if draw < 0.5 else b.hash
+        assert chain.tip == expected
+
+
+def test_equivocating_microblock_never_steals_the_tip():
+    from repro.bitcoin.chain import TieBreak as TB
+
+    # The coin flip applies to competing *key* blocks only; a leader's
+    # equivocating sibling microblock always loses to the first seen,
+    # whatever the rng says (seed 0's first draw is >= 0.5, which
+    # would switch if the policy were misapplied).
+    chain = NGChain(
+        GENESIS, PARAMS, tie_break=TB.RANDOM, rng=random.Random(0)
+    )
+    k1 = _key(GENESIS.hash, ALICE, 0.0)
+    chain.add_block(k1, 0.0)
+    m_a = _micro(k1.hash, ALICE, 10.0, salt=b"a")
+    m_b = _micro(k1.hash, ALICE, 10.0, salt=b"b")
+    chain.add_block(m_a, 10.0)
+    chain.add_block(m_b, 10.5)
+    assert chain.tip == m_a.hash

@@ -171,3 +171,28 @@ def test_experiment_runner_supports_ghost_ng():
     )
     result, _ = run_experiment(config)
     assert result.mining_power_utilization > 0.5
+
+
+class _AlwaysLowRng:
+    """A coin that always says 'adopt' — any draw would be below 0.5."""
+
+    def random(self):
+        return 0.0
+
+
+def test_unequal_subtrees_never_consult_the_rng():
+    # The RANDOM tie-break may only fire at *exact* subtree-weight
+    # ties.  With a rigged always-adopt rng, descending past a strictly
+    # lighter sibling would flip the tip — so the heavy branch winning
+    # proves the tie branch stayed cold.
+    chain = GhostNGChain(
+        GENESIS, PARAMS, tie_break=TieBreak.RANDOM, rng=_AlwaysLowRng()
+    )
+    a = _key(GENESIS.hash, 0, 10.0)
+    chain.add_block(a, 10.0)
+    c = _key(a.hash, 1, 20.0)
+    chain.add_block(c, 20.0)
+    b = _key(GENESIS.hash, 2, 21.0)
+    chain.add_block(b, 21.0)
+    assert chain.subtree_key_work(a.hash) > chain.subtree_key_work(b.hash)
+    assert chain.tip == c.hash

@@ -5,6 +5,7 @@ import pytest
 from repro.core.incentives import (
     BYZANTINE_BOUND,
     OPTIMAL_NETWORK_BOUND,
+    IncentiveWindow,
     critical_alpha,
     extension_deviation_revenue,
     extension_honest_revenue,
@@ -94,3 +95,18 @@ def test_input_validation():
         inclusion_deviation_revenue(0.25, 1.5)
     with pytest.raises(ValueError):
         critical_alpha(-0.1)
+
+
+def test_ties_with_a_deviation_are_not_compatible():
+    # Compatibility demands the honest strategy *strictly* dominate.
+    # At (alpha=0, r=0) the inclusion deviation earns exactly the
+    # honest revenue (both zero); at (alpha=0, r=0.5) the extension
+    # deviation does (both exactly one half).  Indifferent miners
+    # cannot be assumed honest, so neither point is compatible.
+    assert not is_incentive_compatible(0.0, 0.0)
+    assert not is_incentive_compatible(0.0, 0.5)
+
+
+def test_empty_window_is_not_feasible():
+    window = IncentiveWindow(alpha=0.25, lower=0.4, upper=0.4)
+    assert not window.feasible

@@ -2,10 +2,22 @@
 
 import pytest
 
+import repro.core.node as node_mod
+from repro.bitcoin.blocks import SyntheticPayload, TxPayload
+from repro.core.blocks import KeyBlock, build_microblock
 from repro.core.genesis import make_ng_genesis
 from repro.core.node import KIND_KEY, KIND_MICRO, MicroblockPolicy, NGNode
 from repro.core.params import NGParams
 from repro.metrics.collector import ObservationLog
+from repro.crypto.hashing import hash160
+from repro.crypto.keys import PrivateKey
+from repro.ledger.transactions import (
+    OutPoint,
+    Transaction,
+    TxInput,
+    TxOutput,
+)
+from repro.net.gossip import StoredObject
 from repro.net.latency import constant_histogram
 from repro.net.network import Network
 from repro.net.simulator import Simulator
@@ -156,3 +168,155 @@ def test_equivocating_leader_poisoned_by_next():
     assert (
         nodes[1].poisons_published[0].offender_pubkey == cheater.pubkey_bytes
     )
+
+
+class _RecordingTracer:
+    def __init__(self):
+        self.events = []
+
+    def emit(self, name, t, **fields):
+        self.events.append(name)
+
+
+def test_mined_key_blocks_are_counted():
+    sim, _, nodes = _cluster()
+    nodes[0].generate_key_block()
+    assert nodes[0].key_blocks_mined == 1
+
+
+def test_tampered_key_block_from_peer_rejected_and_counted():
+    sim, _, nodes = _cluster()
+    key = nodes[0].generate_key_block()
+    # Same header, different coinbase: the payload-root commitment no
+    # longer matches, so structural validation must veto the relay.
+    tampered = KeyBlock(header=key.header, coinbase=GENESIS.coinbase)
+    assert nodes[1]._deliver_key_block(tampered, sender=0) is False
+    assert nodes[1].blocks_rejected == 1
+    assert tampered.hash not in nodes[1].chain
+
+
+def test_oversized_microblock_from_peer_rejected_and_counted():
+    sim, _, nodes = _cluster()
+    key = nodes[0].generate_key_block()
+    sim.run(until=1.0)
+    big = build_microblock(
+        key.hash,
+        11.0,
+        SyntheticPayload(n_tx=1000, salt=b"big"),
+        nodes[0].key,
+    )
+    assert big.size > PARAMS.max_microblock_bytes
+    assert nodes[1]._deliver_microblock(big, sender=0) is False
+    assert nodes[1].blocks_rejected == 1
+    assert big.hash not in nodes[1].chain
+
+
+def test_wrongly_signed_microblock_rejected_at_the_chain_layer():
+    sim, _, nodes = _cluster()
+    key = nodes[0].generate_key_block()
+    sim.run(until=1.0)
+    forged = build_microblock(
+        key.hash, 11.0, SyntheticPayload(n_tx=1, salt=b"f"), nodes[1].key
+    )
+    assert nodes[2]._deliver_microblock(forged, sender=1) is False
+    assert nodes[2].blocks_rejected == 1
+
+
+def test_block_arrival_traced_only_for_relayed_blocks():
+    sim, _, nodes = _cluster()
+    key = nodes[0].generate_key_block()
+    tracer = _RecordingTracer()
+    nodes[1]._tracer = tracer
+    nodes[1]._deliver_key_block(key, sender=0)
+    assert tracer.events.count("block_arrival") == 1
+    # Self-generated objects (sender None) are not arrivals.
+    tracer2 = _RecordingTracer()
+    nodes[2]._tracer = tracer2
+    nodes[2]._deliver_key_block(key, sender=None)
+    assert tracer2.events.count("block_arrival") == 0
+
+
+def test_microblock_arrival_traced_only_for_relayed_blocks():
+    sim, _, nodes = _cluster()
+    key = nodes[0].generate_key_block()
+    sim.run(until=1.0)
+    micro = build_microblock(
+        key.hash, 11.0, SyntheticPayload(n_tx=1, salt=b"t"), nodes[0].key
+    )
+    tracer = _RecordingTracer()
+    nodes[1]._tracer = tracer
+    nodes[1]._deliver_microblock(micro, sender=0)
+    assert tracer.events.count("block_arrival") == 1
+    tracer2 = _RecordingTracer()
+    nodes[2]._tracer = tracer2
+    nodes[2]._deliver_microblock(micro, sender=None)
+    assert tracer2.events.count("block_arrival") == 0
+
+
+def test_deliver_routes_tx_objects_to_admission(monkeypatch):
+    sim, _, nodes = _cluster()
+    admitted = []
+    monkeypatch.setattr(
+        nodes[1], "_accept_relayed_transaction", admitted.append
+    )
+    obj = StoredObject(obj_id=b"\x01" * 32, kind="tx", data="tx-1", size=1)
+    assert nodes[1].deliver(obj, sender=0) is None
+    assert admitted == ["tx-1"]
+    # Locally submitted transactions were already admitted by
+    # submit_transaction; the self-delivery must not re-admit.
+    assert nodes[1].deliver(obj, sender=None) is None
+    assert admitted == ["tx-1"]
+    junk = StoredObject(obj_id=b"\x02" * 32, kind="junk", data=None, size=1)
+    assert nodes[1].deliver(junk, sender=0) is False
+
+
+def test_abdicate_clears_leadership_and_tolerates_non_leaders():
+    sim, _, nodes = _cluster()
+    nodes[1].abdicate()  # never led: a no-op, not an error
+    nodes[0].generate_key_block()
+    assert nodes[0].is_leader()
+    nodes[0].abdicate()
+    assert not nodes[0].is_leader()
+    sim.run(until=35.0)
+    assert nodes[0].microblocks_generated == 0
+
+
+def test_tx_admission_validates_at_the_next_height(monkeypatch):
+    sim, _, nodes = _cluster()
+    heights = []
+
+    def fake_validate(tx, utxo, height, check_signatures=True):
+        heights.append(height)
+        return 0
+
+    monkeypatch.setattr(node_mod, "validate_spend", fake_validate)
+    tx_a = Transaction(inputs=(), outputs=(TxOutput(1, bytes(20)),))
+    tx_b = Transaction(inputs=(), outputs=(TxOutput(2, bytes(20)),))
+    nodes[0].submit_transaction(tx_a)
+    nodes[0]._accept_relayed_transaction(tx_b)
+    # A transaction admitted now can first appear in the *next* block.
+    assert heights == [1, 1]
+
+
+def test_connect_and_disconnect_roundtrip_for_tx_microblocks():
+    sim, _, nodes = _cluster()
+    node = nodes[0]
+    owner = PrivateKey.from_seed("roundtrip-owner")
+    pkh = hash160(owner.public_key().to_bytes())
+    outpoint = OutPoint(b"\xee" * 32, 0)
+    node.utxo.credit(TxOutput(100, pkh), outpoint, height=0)
+    key = node.generate_key_block()
+    assert node.tip == key.hash
+    tx = Transaction(
+        inputs=(TxInput(outpoint),), outputs=(TxOutput(90, bytes(20)),)
+    ).sign_input(0, owner)
+    micro = build_microblock(key.hash, 10.0, TxPayload((tx,)), node.key)
+    node._deliver_microblock(micro, sender=None)
+    assert node.tip == micro.hash
+    assert node._fees_by_micro[micro.hash] == 10
+    assert outpoint not in node.utxo
+    node._disconnect_block(micro.hash)
+    # The undo restores the spent coin and the entries return to the
+    # mempool for re-placement.
+    assert outpoint in node.utxo
+    assert tx.txid in node.mempool

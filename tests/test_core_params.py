@@ -48,3 +48,20 @@ def test_frozen():
     params = NGParams()
     with pytest.raises(Exception):
         params.leader_fee_fraction = 0.5  # type: ignore[misc]
+
+
+def test_boundary_parameter_values_are_legal():
+    # Each guard excludes its boundary's bad side only: sub-second key
+    # block intervals, a 1-byte microblock cap, and maturity 0 (spend
+    # coinbases immediately) are all meaningful configurations.
+    assert NGParams(key_block_interval=0.5).key_block_interval == 0.5
+    assert NGParams(max_microblock_bytes=1).max_microblock_bytes == 1
+    assert NGParams(coinbase_maturity=0).coinbase_maturity == 0
+
+
+def test_fraction_upper_bounds_enforced():
+    with pytest.raises(ValueError):
+        NGParams(poison_bounty_fraction=1.5)
+    # The closed upper end of [0, 1] itself is legal.
+    assert NGParams(poison_bounty_fraction=1.0).poison_bounty_fraction == 1.0
+    assert NGParams(leader_fee_fraction=1.0).leader_fee_fraction == 1.0

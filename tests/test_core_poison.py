@@ -141,3 +141,14 @@ def test_poison_size_is_small():
     chain, proofs = _scenario()
     poison = PoisonEntry(proof=proofs[0], reporter_miner=2)
     assert poison.size < 200
+
+
+def test_poison_at_the_exact_maturity_boundary_accepted():
+    # The window is (offender_epoch, offender_epoch + maturity]: at the
+    # last key height before the offender's coinbase matures, the
+    # poison is still placeable.
+    chain, proofs = _scenario()
+    poison = PoisonEntry(proof=proofs[0], reporter_miner=2)
+    validate_poison(
+        chain, poison, placement_key_height=1 + PARAMS.coinbase_maturity
+    )

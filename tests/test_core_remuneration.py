@@ -9,6 +9,7 @@ from repro.core.chain import NGChain
 from repro.core.genesis import make_ng_genesis
 from repro.core.params import NGParams
 from repro.core.remuneration import (
+    EpochReward,
     RewardLedger,
     build_ng_coinbase,
     split_fee,
@@ -158,5 +159,58 @@ def test_revocation_voids_offender_and_pays_bounty():
     _, punished = ledger.compute(records, revoked_leaders={alice_pub: 3})
     assert punished[1] == 0  # alice loses everything
     would_have = honest[1]
+    bounty = punished[3] - honest[3]
+    assert bounty == int(would_have * PARAMS.poison_bounty_fraction)
+
+
+def test_epoch_reward_total_sums_all_three_components():
+    reward = EpochReward(
+        leader_miner=1,
+        leader_pubkey=b"\x02" * 33,
+        key_block_hash=b"\x00" * 32,
+        subsidy=100,
+        placed_fee_share=40,
+        next_fee_share=60,
+    )
+    assert reward.total == 200
+
+
+def test_one_satoshi_prev_share_is_still_paid():
+    # split_fee(3, 0.40) == (1, 2): even a single-satoshi 40% share
+    # must appear as the previous leader's output.
+    alice_pkh = hash160(ALICE.public_key().to_bytes())
+    bob_pkh = hash160(BOB.public_key().to_bytes())
+    coinbase = build_ng_coinbase(
+        miner_id=1,
+        timestamp=0.0,
+        self_pubkey_hash=bob_pkh,
+        prev_leader_pubkey_hash=alice_pkh,
+        prev_epoch_fees=3,
+        params=PARAMS,
+    )
+    values = {out.pubkey_hash: out.value for out in coinbase.outputs}
+    assert values[alice_pkh] == 1
+    assert values[bob_pkh] == PARAMS.key_block_reward + 2
+
+
+def test_revoking_a_leader_with_carried_fees_prices_the_bounty_fully():
+    # Bob's epoch has both a placed share (40% of his own fees) and a
+    # carried share (60% of alice's); the reporter's bounty must be a
+    # fraction of the *sum*, not of the difference.
+    chain = _build_two_epoch_chain()
+    ledger = RewardLedger(PARAMS, fee_of=lambda m: m.n_tx * FEE_PER_TX)
+    records = [chain.record(h) for h in chain.main_chain()]
+    bob_pub = BOB.public_key().to_bytes()
+    _, honest = ledger.compute(records)
+    _, punished = ledger.compute(records, revoked_leaders={bob_pub: 3})
+    assert punished[2] == 0
+    alice_fees = 20 * FEE_PER_TX
+    bob_fees = 5 * FEE_PER_TX
+    would_have = (
+        PARAMS.key_block_reward
+        + int(bob_fees * 0.4)
+        + (alice_fees - int(alice_fees * 0.4))
+    )
+    assert honest[2] == would_have
     bounty = punished[3] - honest[3]
     assert bounty == int(would_have * PARAMS.poison_bounty_fraction)

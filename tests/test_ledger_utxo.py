@@ -165,3 +165,13 @@ def test_chained_undo_lifo():
     utxo.undo(undo2)
     utxo.undo(undo1)
     assert utxo.snapshot() == before
+
+
+def test_credit_of_exactly_max_money_is_legal():
+    from repro.ledger.transactions import MAX_MONEY
+
+    utxo = UtxoSet()
+    outpoint = OutPoint(b"\xcc" * 32, 0)
+    utxo.credit(TxOutput(MAX_MONEY, PKH), outpoint, height=0)
+    assert outpoint in utxo
+    assert utxo.total_value() == MAX_MONEY

@@ -6,12 +6,14 @@ from repro.crypto.hashing import hash160
 from repro.crypto.keys import PrivateKey
 from repro.ledger.errors import BadSignature, MalformedTransaction, ValueError_
 from repro.ledger.transactions import (
+    MAX_MONEY,
     OutPoint,
     Transaction,
     TxInput,
     TxOutput,
 )
 from repro.ledger.utxo import UtxoSet
+from repro.ledger import validation
 from repro.ledger.validation import (
     check_transaction,
     compute_fee,
@@ -121,3 +123,31 @@ def test_compute_fee_coinbase_is_zero():
     from repro.ledger.transactions import make_coinbase
 
     assert compute_fee(make_coinbase([(DEST, 5)]), _utxo(), height=1) == 0
+
+
+def test_zero_value_output_is_structurally_legal():
+    # Zero-value outputs are odd but valid (data-carrier style); only
+    # strictly negative values are malformed.
+    tx = Transaction(
+        inputs=(TxInput(COIN_OUTPOINT),), outputs=(TxOutput(0, DEST),)
+    )
+    check_transaction(tx)
+
+
+def test_output_total_of_exactly_max_money_is_legal():
+    tx = Transaction(
+        inputs=(TxInput(COIN_OUTPOINT),),
+        outputs=(TxOutput(MAX_MONEY - 1, DEST), TxOutput(1, DEST)),
+    )
+    check_transaction(tx)
+
+
+def test_size_cap_is_inclusive(monkeypatch):
+    tx = _spend(90)
+    # A transaction of exactly MAX_TX_SIZE bytes is standard; one byte
+    # more is not.
+    monkeypatch.setattr(validation, "MAX_TX_SIZE", tx.size)
+    check_transaction(tx)
+    monkeypatch.setattr(validation, "MAX_TX_SIZE", tx.size - 1)
+    with pytest.raises(MalformedTransaction):
+        check_transaction(tx)

@@ -180,21 +180,12 @@ def test_escape_via_self_call_is_flagged():
     assert any("self.rows" in step for step in caller.why)
 
 
-def test_planted_missing_bump_in_utxoset_copy(tmp_path):
-    source = (SRC / "repro" / "ledger" / "utxo.py").read_text(
-        encoding="utf-8"
-    )
-    assert source.count("self.version += 1") >= 3
-    planted = source.replace("self.version += 1", "pass", 1)
-    copy = tmp_path / "utxo_planted.py"
-    copy.write_text(planted, encoding="utf-8")
-    report = lint_paths([copy])
-    assert [f.code for f in report.findings] == ["NG601"]
-    finding = report.findings[0]
-    assert "UtxoSet.apply" in finding.message
-    assert any("self._coins" in step for step in finding.why)
-    # The unedited module stays clean.
-    assert lint_paths([SRC / "repro" / "ledger" / "utxo.py"]).findings == []
+# The hand-rolled missing-bump plant (string-replacing a version bump
+# in a copy of utxo.py and asserting NG601) now lives in the mutation
+# pipeline: tests/test_mutate.py::
+# test_ported_planted_bump_del_dies_in_lint_tier drives the same
+# defect through the `bump-del` operator and the lint kill tier, over
+# every bump site in repro.ledger instead of just the first one.
 
 
 def test_planted_mempool_mutating_checker(tmp_path):
@@ -233,3 +224,132 @@ def test_real_tree_has_no_semantic_findings():
     assert report.findings == [], "\n".join(
         f.format(show_why=True) for f in report.findings
     )
+
+
+# -- baselines & NG603 opt-out (regression coverage) -------------------------
+
+
+def test_baseline_survives_hide_then_refactor(tmp_path):
+    """Semantic fingerprints must pin the *finding*, not its line numbers.
+
+    Scenario: a team baselines an NG601 finding, then refactors the
+    module — new helpers above the class shift every lineno, and the
+    offending method's def line moves.  The ``why`` call-path lines all
+    change, but the baseline entry must keep hiding the finding; only
+    actually fixing (or worsening) the bug may surface it.
+    """
+    source = (SRC / "repro" / "ledger" / "utxo.py").read_text(
+        encoding="utf-8"
+    )
+    planted = source.replace("self.version += 1", "pass", 1)
+    copy = tmp_path / "utxo_planted.py"
+    copy.write_text(planted, encoding="utf-8")
+    before = lint_paths([copy])
+    assert [f.code for f in before.findings] == ["NG601"]
+    baseline = {f.fingerprint: "known debt" for f in before.findings}
+    assert lint_paths([copy], baseline=baseline).findings == []
+
+    # Refactor: shift every line down and move the def lines around
+    # without touching behaviour.
+    shifted = (
+        '"""Planted copy, post-refactor."""\n'
+        "\n"
+        "PADDING_A = 1\n"
+        "PADDING_B = 2\n"
+        "\n\n" + planted
+    )
+    copy.write_text(shifted, encoding="utf-8")
+    after = lint_paths([copy])
+    assert [f.code for f in after.findings] == ["NG601"]
+    assert after.findings[0].line != before.findings[0].line
+    assert (
+        after.findings[0].fingerprint == before.findings[0].fingerprint
+    )
+    report = lint_paths([copy], baseline=baseline)
+    assert report.findings == []
+    assert report.baselined == 1
+    assert report.stale_baseline == []
+
+
+def test_ng603_flags_method_valued_opt_out(tmp_path):
+    """`supports_incremental_check` as a method is always truthy."""
+    bad = tmp_path / "optout_method.py"
+    bad.write_text(
+        "from repro.protocols import ProtocolAdapter\n"
+        "\n"
+        "\n"
+        "class OptOutAdapter(ProtocolAdapter):\n"
+        '    name = "optout"\n'
+        "\n"
+        "    def build_nodes(self, config, sim, network, log, shares):\n"
+        "        return [], None\n"
+        "\n"
+        "    def supports_incremental_check(self):\n"
+        "        return False\n",
+        encoding="utf-8",
+    )
+    report = lint_paths([bad])
+    assert [f.code for f in report.findings] == ["NG603"]
+    assert "bool class attribute" in report.findings[0].message
+
+
+def test_ng603_flags_non_bool_opt_out_literal(tmp_path):
+    bad = tmp_path / "optout_literal.py"
+    bad.write_text(
+        "from repro.protocols import ProtocolAdapter\n"
+        "\n"
+        "\n"
+        "class OptOutAdapter(ProtocolAdapter):\n"
+        '    name = "optout"\n'
+        '    supports_incremental_check = "no"\n'
+        "\n"
+        "    def build_nodes(self, config, sim, network, log, shares):\n"
+        "        return [], None\n",
+        encoding="utf-8",
+    )
+    report = lint_paths([bad])
+    assert [f.code for f in report.findings] == ["NG603"]
+    assert "bool literal" in report.findings[0].message
+
+
+def test_ng603_accepts_bool_opt_out_attribute(tmp_path):
+    good = tmp_path / "optout_good.py"
+    good.write_text(
+        "from repro.protocols import ProtocolAdapter\n"
+        "\n"
+        "\n"
+        "class OptOutAdapter(ProtocolAdapter):\n"
+        '    name = "optout"\n'
+        "    supports_incremental_check = False\n"
+        "\n"
+        "    def build_nodes(self, config, sim, network, log, shares):\n"
+        "        return [], None\n",
+        encoding="utf-8",
+    )
+    assert lint_paths([good]).findings == []
+
+
+def test_ng603_still_flags_missing_mode_parameter(tmp_path):
+    """The original contract check: `invariant_checkers` must take `mode`.
+
+    This scenario lost its fixture when the NG603 fixtures moved to the
+    opt-out-attribute example, so it is pinned here instead.
+    """
+    bad = tmp_path / "nomode.py"
+    bad.write_text(
+        "from repro.protocols import ProtocolAdapter\n"
+        "\n"
+        "\n"
+        "class NoModeAdapter(ProtocolAdapter):\n"
+        '    name = "nomode"\n'
+        "\n"
+        "    def build_nodes(self, config, sim, network, log, shares):\n"
+        "        return [], None\n"
+        "\n"
+        "    def invariant_checkers(self):\n"
+        "        return []\n",
+        encoding="utf-8",
+    )
+    report = lint_paths([bad])
+    assert [f.code for f in report.findings] == ["NG603"]
+    assert "mode" in report.findings[0].message

@@ -106,3 +106,37 @@ def test_validation():
         sched.set_block_rate(-1.0)
     with pytest.raises(ValueError):
         sched.set_power(0, -2.0)
+
+
+def test_block_rate_must_be_strictly_positive():
+    sim = Simulator(seed=0)
+    sched = MiningScheduler(sim, [1.0], 1.0, on_block=lambda _: None)
+    with pytest.raises(ValueError):
+        sched.set_block_rate(0.0)
+    # Fractional (sub-one) rates are fine.
+    sched.set_block_rate(0.5)
+    assert sched.block_rate == 0.5
+
+
+def test_total_power_must_stay_strictly_positive():
+    sim = Simulator(seed=0)
+    sched = MiningScheduler(sim, [1.0, 1.0], 1.0, on_block=lambda _: None)
+    sched.set_power(0, 0.0)
+    with pytest.raises(ValueError):
+        sched.set_power(1, 0.0)
+
+
+def test_stop_before_start_is_a_noop():
+    sim = Simulator(seed=0)
+    sched = MiningScheduler(sim, [1.0], 1.0, on_block=lambda _: None)
+    sched.stop()
+    assert sched._pending is None
+
+
+def test_uniform_upper_bound_maps_to_the_last_miner():
+    # random.uniform's range is closed at the top: a draw of exactly
+    # total power must select the last miner, not index past the end.
+    sim = Simulator(seed=0)
+    sched = MiningScheduler(sim, [1.0, 2.0, 3.0], 1.0, on_block=lambda _: None)
+    sim.rng.uniform = lambda a, b: b
+    assert sched._pick_winner() == 2

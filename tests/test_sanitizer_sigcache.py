@@ -1,0 +1,105 @@
+"""SignatureCache agreement with direct ecdsa verification.
+
+The cache memoizes ``Microblock.verify_signature`` keyed on
+``(leader_pubkey, block_hash, signature)`` — a pure function of those
+inputs — so every cached verdict, positive *or negative*, must agree
+bit-for-bit with an uncached ``ecdsa.verify`` over the same header and
+key.  A randomized corpus (seeded, so deterministic) exercises both
+verdict polarities and both cache paths: the first lookup (miss, real
+verification) and the replay (hit, memo only).
+"""
+
+import random
+
+from repro.bitcoin.blocks import SyntheticPayload
+from repro.core.blocks import build_microblock
+from repro.crypto import ecdsa
+from repro.crypto.keys import PrivateKey, PublicKey
+from repro.sanitizer.checkers import SignatureCache
+
+
+def _corpus(seed: int, size: int):
+    """(microblock, claimed leader pubkey bytes) pairs, about half forged.
+
+    Forgeries come in the flavours a simulation can actually produce:
+    a microblock signed by a different leader's key (stale epoch), a
+    bit-flipped signature, and a claimed pubkey that does not decode.
+    """
+    rng = random.Random(seed)
+    keys = [PrivateKey.from_seed(f"corpus-{i}") for i in range(8)]
+    pairs = []
+    for i in range(size):
+        signer = rng.choice(keys)
+        block = build_microblock(
+            prev_hash=rng.randbytes(32),
+            timestamp=rng.uniform(0.0, 10_000.0),
+            payload=SyntheticPayload(
+                n_tx=rng.randrange(1, 50), salt=rng.randbytes(8)
+            ),
+            leader_key=signer,
+        )
+        claimed = signer.public_key().to_bytes()
+        flavour = rng.randrange(4)
+        if flavour == 1:  # wrong leader claimed
+            other = rng.choice([k for k in keys if k is not signer])
+            claimed = other.public_key().to_bytes()
+        elif flavour == 2:  # corrupted signature
+            corrupt = bytearray(block.signature)
+            corrupt[rng.randrange(len(corrupt))] ^= 1 << rng.randrange(8)
+            block = type(block)(block.header, bytes(corrupt), block.payload)
+        elif flavour == 3:  # undecodable pubkey
+            claimed = rng.randbytes(rng.choice((0, 16, 33)))
+        pairs.append((block, claimed))
+    return pairs
+
+
+def _direct_verdict(block, claimed: bytes) -> bool:
+    """Uncached ground truth straight from the ecdsa layer."""
+    try:
+        point = PublicKey.from_bytes(claimed).point
+    except Exception:
+        return False
+    try:
+        signature = ecdsa.signature_from_bytes(block.signature)
+    except ecdsa.InvalidSignature:
+        return False
+    return ecdsa.verify(point, block.header.signing_payload(), signature)
+
+
+def test_cache_agrees_with_direct_verification_on_random_corpus():
+    corpus = _corpus(seed=1311, size=60)
+    cache = SignatureCache()
+    verdicts = [cache.verify(block, claimed) for block, claimed in corpus]
+    expected = [_direct_verdict(block, claimed) for block, claimed in corpus]
+    assert verdicts == expected
+    # The corpus must exercise both polarities or the test proves little.
+    assert any(expected) and not all(expected)
+    assert cache.misses == len(corpus)
+
+
+def test_cache_hits_replay_identical_verdicts():
+    corpus = _corpus(seed=2319, size=40)
+    cache = SignatureCache()
+    first = [cache.verify(block, claimed) for block, claimed in corpus]
+    misses = cache.misses
+    replay = [cache.verify(block, claimed) for block, claimed in corpus]
+    assert replay == first
+    assert cache.misses == misses  # second pass served entirely from memo
+    assert cache.hits >= len(corpus)
+
+
+def test_negative_verdicts_are_cached_not_recomputed():
+    key = PrivateKey.from_seed("leader")
+    impostor = PrivateKey.from_seed("impostor")
+    block = build_microblock(
+        prev_hash=b"\x11" * 32,
+        timestamp=42.0,
+        payload=SyntheticPayload(n_tx=3, salt=b"sig"),
+        leader_key=impostor,
+    )
+    claimed = key.public_key().to_bytes()
+    cache = SignatureCache()
+    assert cache.verify(block, claimed) is False
+    assert cache.verify(block, claimed) is False
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert block.verify_signature(claimed) is False
